@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation in
+miniature: the workloads, generators and checkers are the real ones, but the
+evaluation budgets (test-run counts, samples, test sizes) are scaled down so
+the whole suite completes in minutes on a laptop rather than the paper's
+24-hour-per-sample gem5 campaigns.  Set ``REPRO_BENCH_SCALE`` (default 1) to
+a larger integer to run proportionally longer campaigns; the qualitative
+shape of the results (who finds which bug, who reaches higher coverage) is
+already visible at scale 1.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import GeneratorConfig
+from repro.sim.config import SystemConfig
+
+
+def bench_scale() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1
+
+
+@pytest.fixture(scope="session")
+def scale() -> int:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def bench_system_config() -> SystemConfig:
+    return SystemConfig()
+
+
+def bench_generator_config(memory_kib: int, scale: int = 1) -> GeneratorConfig:
+    """The scaled-down Table 3 configuration used by the benchmarks."""
+    return GeneratorConfig.quick(
+        memory_kib=memory_kib,
+        num_threads=4,
+        test_size=64 * min(scale, 4),
+        iterations=3,
+        population_size=10 * min(scale, 4),
+    )

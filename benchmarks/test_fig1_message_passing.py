@@ -1,0 +1,48 @@
+"""Figure 1: the message-passing example.
+
+The paper motivates MCM verification with the MP litmus test: under TSO the
+outcome ``r1 = 1 and r2 = 0`` is forbidden.  This benchmark runs the MP test
+on the correct system (the outcome must never be observed) and on a system
+with the SQ+no-FIFO bug, whose out-of-order store visibility makes the
+forbidden outcome appear (the LQ+no-TSO bug needs warmed caches across
+iterations and is exercised by the directed scenarios instead).
+"""
+
+from repro.core.config import GeneratorConfig
+from repro.core.engine import VerificationEngine
+from repro.litmus.corpus import litmus_by_name
+from repro.sim.config import SystemConfig
+from repro.sim.faults import Fault, FaultSet
+
+
+def run_mp(faults: FaultSet, attempts: int, seed: int = 5):
+    mp = litmus_by_name("MP")
+    config = GeneratorConfig.quick(memory_kib=1, num_threads=mp.num_threads,
+                                   test_size=len(mp.chromosome), iterations=8)
+    engine = VerificationEngine(config, SystemConfig(num_cores=2),
+                                faults=faults, seed=seed)
+    for attempt in range(attempts):
+        if engine.run_test(mp.chromosome).bug_found:
+            return attempt + 1
+    return None
+
+
+def test_fig1_mp_never_fails_on_correct_hardware(benchmark, capsys):
+    found = benchmark.pedantic(lambda: run_mp(FaultSet.none(), attempts=10),
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\nMP on correct MESI hardware: forbidden outcome observed = "
+              f"{found is not None} (must be False)")
+    assert found is None
+
+
+def test_fig1_mp_detects_store_reordering(benchmark, capsys):
+    """With the SQ+no-FIFO bug the writer's stores become visible out of
+    order, so the MP forbidden outcome appears within a few test-runs."""
+    found = benchmark.pedantic(
+        lambda: run_mp(FaultSet.of(Fault.SQ_NO_FIFO), attempts=60),
+        rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\nMP with SQ+no-FIFO bug: forbidden outcome after "
+              f"{found} test-runs")
+    assert found is not None

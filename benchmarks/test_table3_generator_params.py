@@ -1,0 +1,42 @@
+"""Table 3: test generation parameters.
+
+Echoes the generator parameters (paper values and the scaled values used by
+the benchmark suite) and measures raw test-generation throughput, verifying
+that the generated operation mix matches the configured biases.
+"""
+
+import random
+from collections import Counter
+
+from benchmarks.conftest import bench_generator_config
+from repro.core.config import GeneratorConfig
+from repro.core.generator import RandomTestGenerator
+from repro.harness.reporting import format_key_value
+from repro.sim.testprogram import OpKind
+
+
+def test_table3_generator_parameters(benchmark, capsys, scale):
+    paper = GeneratorConfig.paper_table3()
+    bench = bench_generator_config(memory_kib=8, scale=scale)
+    generator = RandomTestGenerator(bench, random.Random(11))
+
+    chromosomes = benchmark(lambda: generator.generate_population(20))
+
+    kinds = Counter(op.kind for chromosome in chromosomes
+                    for _, op in chromosome.slots)
+    total = sum(kinds.values())
+    read_fraction = (kinds[OpKind.READ] + kinds[OpKind.READ_ADDR_DP]) / total
+    write_fraction = (kinds[OpKind.WRITE] + kinds[OpKind.RMW]) / total
+    assert 0.4 < read_fraction < 0.7
+    assert 0.3 < write_fraction < 0.6
+
+    with capsys.disabled():
+        print()
+        print(format_key_value("Table 3 (paper parameters)", paper.describe()))
+        print()
+        print(format_key_value("Table 3 (benchmark-scale parameters)",
+                               bench.describe()))
+        mix = ", ".join(f"{kind.value}:{count / total:.1%}"
+                        for kind, count in sorted(kinds.items(),
+                                                  key=lambda item: item[0].value))
+        print(f"\nobserved operation mix over {total} generated ops: {mix}")

@@ -1,0 +1,93 @@
+"""Table 4: bug coverage per generator (the paper's headline result).
+
+For a representative subset of the 11 studied bugs, each test generation
+strategy (McVerSi-ALL, McVerSi-RAND at 1KB/8KB, diy-litmus) hunts the bug
+under the same test-run evaluation budget.  The paper's shape to look for:
+
+* McVerSi-ALL (8KB) finds the most bugs (all of them, given enough budget);
+* the eviction-dependent bugs are only reachable with 8KB of test memory;
+* litmus tests find only a small subset (the pipeline/store-buffer bugs).
+
+Budgets here are tiny (tens of evaluations) so the suite runs in minutes;
+raise ``REPRO_BENCH_SCALE`` to sharpen the separation.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_generator_config
+from repro.core.campaign import GeneratorKind
+from repro.harness.experiment import BugCoverageExperiment, ExperimentSettings
+from repro.harness.reporting import format_table
+from repro.sim.config import SystemConfig
+from repro.sim.faults import Fault, FaultSet
+
+# A representative subset of paper Table 4's rows: two real pipeline/protocol
+# interaction bugs, one protocol race, one store-buffer bug, one TSO-CC bug.
+BENCH_FAULTS = [
+    Fault.MESI_LQ_SM_INV,
+    Fault.MESI_PUTX_RACE,
+    Fault.LQ_NO_TSO,
+    Fault.SQ_NO_FIFO,
+    Fault.TSOCC_COMPARE,
+]
+
+CONFIGURATIONS = [
+    (GeneratorKind.MCVERSI_ALL, 8),
+    (GeneratorKind.MCVERSI_RAND, 1),
+    (GeneratorKind.MCVERSI_RAND, 8),
+    (GeneratorKind.DIY_LITMUS, 1),
+]
+
+
+@pytest.fixture(scope="module")
+def table4_cells(scale=1):
+    settings = ExperimentSettings(
+        generator_config=bench_generator_config(memory_kib=8),
+        system_config=SystemConfig(),
+        samples=1,
+        max_evaluations=25,
+        seed=7,
+    )
+    experiment = BugCoverageExperiment(settings, faults=BENCH_FAULTS,
+                                       configurations=CONFIGURATIONS)
+    experiment.run()
+    return experiment
+
+
+def test_table4_bug_coverage(benchmark, capsys, table4_cells):
+    experiment = table4_cells
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = experiment.table_rows()
+    with capsys.disabled():
+        print()
+        print(format_table(experiment.table_headers(), rows,
+                           title="Table 4 (scaled): bug found (mean evaluations)"))
+    found_by_config = {}
+    for cell in experiment.cells:
+        key = (cell.kind, cell.memory_kib)
+        found_by_config.setdefault(key, 0)
+        found_by_config[key] += cell.found_count
+    # The GP/random generators must find at least as many bugs as litmus.
+    litmus_found = found_by_config[(GeneratorKind.DIY_LITMUS, 1)]
+    best_mcversi = max(found_by_config[(GeneratorKind.MCVERSI_ALL, 8)],
+                       found_by_config[(GeneratorKind.MCVERSI_RAND, 8)])
+    assert best_mcversi >= litmus_found
+
+
+def test_table4_store_buffer_bug_found_quickly(benchmark, capsys):
+    """The SQ+no-FIFO bug is found by every generator within a few test-runs."""
+    from repro.core.campaign import Campaign
+
+    def hunt():
+        campaign = Campaign(GeneratorKind.MCVERSI_RAND,
+                            bench_generator_config(memory_kib=1),
+                            SystemConfig(),
+                            faults=FaultSet.of(Fault.SQ_NO_FIFO),
+                            seed=3)
+        return campaign.run(max_evaluations=15)
+
+    result = benchmark.pedantic(hunt, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\nSQ+no-FIFO: found={result.found} "
+              f"evaluations_to_find={result.evaluations_to_find}")
+    assert result.found

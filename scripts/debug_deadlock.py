@@ -1,0 +1,85 @@
+"""Debugging aid: reproduce a hanging MESI iteration and dump state."""
+
+import random
+
+from repro.sim.config import SystemConfig, TestMemoryLayout
+from repro.sim.coverage import CoverageCollector
+from repro.sim.faults import FaultSet
+from repro.sim.host import HostAssistedBarrier
+from repro.sim.interconnect import Interconnect
+from repro.sim.kernel import SimKernel, SimulationLimitError
+from repro.sim.memory import MainMemory
+from repro.sim.coherence.mesi_l1 import MesiL1Cache
+from repro.sim.coherence.mesi_l2 import MesiDirectory
+from repro.sim.pipeline.core import CoreEngine
+from repro.sim.testprogram import TestOp, TestThread, OpKind
+from repro.sim.trace import ExecutionTrace
+
+
+def run(seed: int, threads, config, max_ticks=200_000):
+    kernel = SimKernel(seed=seed, max_ticks=max_ticks)
+    memory = MainMemory(config.memory_latency_min, config.memory_latency_max)
+    network = Interconnect(kernel, config.network_latency_min,
+                           config.network_latency_max)
+    coverage = CoverageCollector()
+    faults = FaultSet.none()
+    trace = ExecutionTrace()
+    directory = MesiDirectory(kernel, network, config, memory, coverage, faults)
+    cores, l1s = [], []
+    for thread in threads:
+        l1 = MesiL1Cache(thread.pid, kernel, network, config, coverage, faults)
+        core = CoreEngine(thread.pid, kernel, l1, thread, trace, config, faults,
+                          random.Random(seed * 31 + thread.pid))
+        l1.invalidation_listener = core.on_invalidation
+        cores.append(core)
+        l1s.append(l1)
+    for core in cores:
+        core.start()
+
+    def finished():
+        return (all(c.done for c in cores) and all(l.quiescent() for l in l1s)
+                and directory.quiescent())
+
+    try:
+        kernel.run(until=finished)
+    except SimulationLimitError:
+        pass
+    if finished():
+        return True
+    print(f"--- seed {seed} stuck at tick {kernel.now} ---")
+    for core in cores:
+        print(f"core {core.core_id}: done={core.done} next_op={core.next_op_index}/"
+              f"{len(core.thread.ops)} rob={[ (e.op.op_id, e.op.kind.value, e.performed, e.request_outstanding) for e in core.rob]} "
+              f"sq={[ (e.op.op_id, e.draining) for e in core.store_buffer.entries]}")
+    for l1 in l1s:
+        lines = [(hex(line.line_address), line.state) for line in l1.array.all_lines()]
+        print(f"{l1.name}: quiescent={l1.quiescent()} mshrs={list(map(hex, l1._mshrs))} "
+              f"evicting={[(hex(k), v.state) for k, v in l1._evicting.items()]} "
+              f"deferred={list(map(hex, l1._deferred_cpu))} retries={l1._pending_retries} lines={lines}")
+    busy = [(hex(line.line_address), line.state, line.meta) for line in directory.array.all_lines()
+            if line.state not in ("SS", "EE", "MT")]
+    print(f"dir: quiescent={directory.quiescent()} busy={busy} "
+          f"evicting={[(hex(k), v.state) for k, v in directory._evicting.items()]} "
+          f"queued={[(hex(k), len(v)) for k, v in directory._queued.items() if v]} "
+          f"fetches={directory._pending_fetches} retries={directory._pending_retries}")
+    return False
+
+
+def main():
+    layout = TestMemoryLayout.kib(1)
+    a0 = layout.slot_address(0)
+    a1 = layout.slot_address(4)
+    threads = [
+        TestThread(0, (TestOp(0, OpKind.WRITE, a0, 1), TestOp(1, OpKind.WRITE, a1, 2),
+                       TestOp(2, OpKind.READ, a0))),
+        TestThread(1, (TestOp(3, OpKind.READ, a1), TestOp(4, OpKind.READ, a0),
+                       TestOp(5, OpKind.WRITE, a1, 6))),
+    ]
+    config = SystemConfig(num_cores=2)
+    for seed in range(30):
+        if not run(seed, threads, config):
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which need ``bdist_wheel``) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy editable
+install path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro: a reproduction of McVerSi (HPCA 2016).
+
+McVerSi is a test generation framework for fast memory consistency
+verification in simulation.  This package provides:
+
+* :mod:`repro.sim` - a functionally accurate multicore memory-system
+  simulator (MESI and TSO-CC coherence, out-of-order cores with TSO
+  load/store queues, fault injection for the 11 studied bugs);
+* :mod:`repro.consistency` - an axiomatic MCM framework (SC, TSO) with a
+  polynomial checker and an operational cross-check model;
+* :mod:`repro.core` - the GP-based test generation (selective crossover,
+  NDT/NDe metrics, adaptive coverage fitness, steady-state GA, campaigns);
+* :mod:`repro.litmus` - diy-style litmus generation and the x86-TSO corpus;
+* :mod:`repro.harness` - experiment drivers reproducing the paper's tables.
+"""
+
+from repro.core.campaign import Campaign, CampaignResult, GeneratorKind
+from repro.core.config import GeneratorConfig
+from repro.core.engine import VerificationEngine
+from repro.core.generator import RandomTestGenerator
+from repro.sim.config import SystemConfig, TestMemoryLayout
+from repro.sim.faults import Fault, FaultSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "GeneratorKind",
+    "GeneratorConfig",
+    "VerificationEngine",
+    "RandomTestGenerator",
+    "SystemConfig",
+    "TestMemoryLayout",
+    "Fault",
+    "FaultSet",
+    "__version__",
+]

@@ -1,0 +1,127 @@
+"""The MCM checker: verify a candidate execution against a model.
+
+Checks performed (all polynomial, per paper §2.1 and §4.1):
+
+1. **Coherence / uniproc**: ``acyclic(po-loc | rf | co | fr)`` - the
+   per-location SC requirement every model shares.
+2. **Atomicity**: for every RMW pair (r, w), no other write to the same
+   address is coherence-ordered between the write r read from and w.
+3. **Global happens-before**: ``acyclic(ppo+fences | rf(e) | co | fr)``
+   where the model decides whether internal rf participates.
+
+Any inconsistency in the observed trace itself (a read returning a value no
+write produced, a branching coherence order, i.e. a lost update) is also
+reported as a violation - these indicate memory-system data corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consistency.execution import (CandidateExecution, ExecutionBuildError,
+                                         execution_from_trace)
+from repro.consistency.models import MemoryModel
+from repro.consistency.relations import Relation
+from repro.sim.testprogram import TestThread
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected violation of the memory model."""
+
+    kind: str               # "coherence", "atomicity", "ghb", "corruption"
+    description: str
+    cycle: tuple = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.description}"
+
+
+@dataclass
+class CheckResult:
+    """Result of checking one candidate execution."""
+
+    passed: bool
+    violations: list[Violation] = field(default_factory=list)
+    execution: CandidateExecution | None = None
+
+    @classmethod
+    def ok(cls, execution: CandidateExecution) -> "CheckResult":
+        return cls(passed=True, execution=execution)
+
+
+class Checker:
+    """Checks candidate executions against a memory model."""
+
+    def __init__(self, model: MemoryModel) -> None:
+        self.model = model
+
+    # ------------------------------------------------------------------
+
+    def check_trace(self, threads: list[TestThread],
+                    trace: ExecutionTrace) -> CheckResult:
+        """Build the execution from a trace and check it."""
+        try:
+            execution = execution_from_trace(threads, trace)
+        except ExecutionBuildError as error:
+            return CheckResult(passed=False, violations=[
+                Violation(kind="corruption", description=str(error))])
+        return self.check(execution)
+
+    def check(self, execution: CandidateExecution) -> CheckResult:
+        violations: list[Violation] = []
+        violations.extend(self._check_coherence(execution))
+        violations.extend(self._check_atomicity(execution))
+        violations.extend(self._check_global(execution))
+        if violations:
+            return CheckResult(passed=False, violations=violations,
+                               execution=execution)
+        return CheckResult.ok(execution)
+
+    # ------------------------------------------------------------------
+
+    def _check_coherence(self, execution: CandidateExecution) -> list[Violation]:
+        relation = Relation.union(execution.po_loc_edges(), execution.rf,
+                                  execution.co, execution.fr)
+        cycle = relation.find_cycle()
+        if cycle is None:
+            return []
+        description = ("per-location coherence (uniproc) violated: " +
+                       " -> ".join(str(node) for node in cycle))
+        return [Violation(kind="coherence", description=description,
+                          cycle=tuple(cycle))]
+
+    def _check_atomicity(self, execution: CandidateExecution) -> list[Violation]:
+        violations = []
+        for read, write in execution.atomic_pairs():
+            source = execution.rf_sources.get(read)
+            if source is None:
+                continue
+            chain = execution.co_chains.get(read.address, [])
+            if source not in chain or write not in chain:
+                continue
+            gap = chain[chain.index(source) + 1: chain.index(write)]
+            if gap:
+                violations.append(Violation(
+                    kind="atomicity",
+                    description=(f"RMW atomicity violated at {read.address:#x}: "
+                                 f"{len(gap)} write(s) intervene between "
+                                 f"{source.eid} and {write.eid}")))
+        return violations
+
+    def _check_global(self, execution: CandidateExecution) -> list[Violation]:
+        ppo = self.model.preserved_program_order(execution)
+        relation = Relation.union(ppo, execution.co, execution.fr)
+        for source, read in execution.rf.edges():
+            internal = (source.pid == read.pid and not source.is_init)
+            if internal and not self.model.includes_internal_rf:
+                continue
+            relation.add(source, read)
+        cycle = relation.find_cycle()
+        if cycle is None:
+            return []
+        description = (f"{self.model.name} global happens-before cycle: " +
+                       " -> ".join(str(node) for node in cycle))
+        return [Violation(kind="ghb", description=description,
+                          cycle=tuple(cycle))]

@@ -1,0 +1,77 @@
+"""Memory events of a candidate execution (paper §2.1).
+
+Each memory instruction maps to one event, except read-modify-writes which
+map to two (a read and a write) linked as an atomic pair.  The initial value
+of every location is modelled as a write event of a fictitious "init"
+thread, created on first use (paper §4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class EventKind(Enum):
+    READ = "R"
+    WRITE = "W"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+INIT_PID = -1
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One memory event.
+
+    ``eid`` is globally unique: ``(op_id, kind)`` for test events and
+    ``("init", address)`` for initial writes.  ``po_index`` orders events of
+    one thread (the read half of an RMW precedes its write half).
+    """
+
+    eid: tuple
+    pid: int
+    kind: EventKind
+    address: int
+    value: int
+    po_index: int
+    is_atomic: bool = False   # part of a read-modify-write pair
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is EventKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is EventKind.WRITE
+
+    @property
+    def is_init(self) -> bool:
+        return self.pid == INIT_PID
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = "init" if self.is_init else f"P{self.pid}#{self.po_index}"
+        return f"{self.kind.value}[{tag}] a={self.address:#x} v={self.value}"
+
+
+def init_write(address: int) -> Event:
+    """The initial (value 0) write event for *address*."""
+    return Event(eid=("init", address), pid=INIT_PID, kind=EventKind.WRITE,
+                 address=address, value=0, po_index=-1)
+
+
+def read_event(op_id: int, pid: int, po_index: int, address: int, value: int,
+               is_atomic: bool = False) -> Event:
+    return Event(eid=(op_id, "R"), pid=pid, kind=EventKind.READ,
+                 address=address, value=value, po_index=po_index,
+                 is_atomic=is_atomic)
+
+
+def write_event(op_id: int, pid: int, po_index: int, address: int, value: int,
+                is_atomic: bool = False) -> Event:
+    return Event(eid=(op_id, "W"), pid=pid, kind=EventKind.WRITE,
+                 address=address, value=value, po_index=po_index,
+                 is_atomic=is_atomic)

@@ -1,0 +1,247 @@
+"""Candidate executions: events plus observed conflict orders.
+
+A candidate execution is built from (a) the static test program, which gives
+each thread's program order and the event each operation maps to, and (b)
+the dynamic observations of one iteration (:class:`repro.sim.trace.ExecutionTrace`),
+which give reads-from (rf) and coherence order (co).  From-reads (fr) is
+derived.  Because write values are globally unique identifiers, the mapping
+from an observed value to the producing write event is exact (value 0 maps
+to the per-address init write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consistency.events import (Event, EventKind, init_write, read_event,
+                                      write_event)
+from repro.consistency.relations import Relation
+from repro.sim.testprogram import OpKind, TestThread
+from repro.sim.trace import ExecutionTrace
+
+
+class ExecutionBuildError(ValueError):
+    """Raised when the observed trace is internally inconsistent.
+
+    This is itself a verification outcome: for example, a read observing a
+    value that no write ever produced, or two writes claiming to have
+    overwritten the same value (a branching coherence order), indicate data
+    corruption in the simulated memory system.
+    """
+
+
+@dataclass
+class CandidateExecution:
+    """One candidate execution: events and its po/rf/co/fr relations."""
+
+    events: list[Event] = field(default_factory=list)
+    program_order: dict[int, list[Event]] = field(default_factory=dict)
+    rf: Relation = field(default_factory=Relation)        # write -> read
+    co: Relation = field(default_factory=Relation)        # write -> next write
+    fr: Relation = field(default_factory=Relation)        # read -> later write
+    rf_sources: dict[Event, Event] = field(default_factory=dict)
+    co_chains: dict[int, list[Event]] = field(default_factory=dict)
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def reads(self) -> list[Event]:
+        return [event for event in self.events if event.is_read]
+
+    @property
+    def writes(self) -> list[Event]:
+        return [event for event in self.events if event.is_write]
+
+    def events_of_thread(self, pid: int) -> list[Event]:
+        return list(self.program_order.get(pid, []))
+
+    def po_edges(self) -> Relation:
+        """Immediate program-order successor edges (per thread)."""
+        relation = Relation()
+        for events in self.program_order.values():
+            for first, second in zip(events, events[1:]):
+                relation.add(first, second)
+        return relation
+
+    def po_loc_edges(self) -> Relation:
+        """Per-thread, per-address program order successor edges."""
+        relation = Relation()
+        for events in self.program_order.values():
+            last_by_address: dict[int, Event] = {}
+            for event in events:
+                previous = last_by_address.get(event.address)
+                if previous is not None:
+                    relation.add(previous, event)
+                last_by_address[event.address] = event
+        return relation
+
+    def conflict_edges(self) -> set[tuple[tuple, tuple]]:
+        """(rf union co) as pairs of event ids - the paper's rf/co union.
+
+        This is what the engine accumulates across iterations to compute the
+        test's non-determinism (NDT, paper Definition 1).
+        """
+        pairs: set[tuple[tuple, tuple]] = set()
+        for src, dst in self.rf.edges():
+            pairs.add((src.eid, dst.eid))
+        for src, dst in self.co.edges():
+            pairs.add((src.eid, dst.eid))
+        return pairs
+
+    def atomic_pairs(self) -> list[tuple[Event, Event]]:
+        """(read, write) event pairs originating from the same RMW."""
+        writes_by_op: dict[object, Event] = {
+            event.eid[0]: event for event in self.events
+            if event.is_write and event.is_atomic}
+        pairs = []
+        for event in self.events:
+            if event.is_read and event.is_atomic:
+                write = writes_by_op.get(event.eid[0])
+                if write is not None:
+                    pairs.append((event, write))
+        return pairs
+
+
+def _static_events(threads: list[TestThread]) -> tuple[
+        dict[int, list[Event]], dict[int, Event], dict[tuple, Event]]:
+    """Build the per-thread event skeleton from the static program.
+
+    Returns (program_order, write_by_value, event_by_eid).  Read events get
+    placeholder value ``-1`` until the dynamic observations fill them in.
+    """
+    program_order: dict[int, list[Event]] = {}
+    write_by_value: dict[int, Event] = {}
+    event_by_eid: dict[tuple, Event] = {}
+    for thread in threads:
+        events: list[Event] = []
+        po_index = 0
+        for op in thread.ops:
+            if op.kind in (OpKind.READ, OpKind.READ_ADDR_DP):
+                event = read_event(op.op_id, thread.pid, po_index, op.address, -1)
+                events.append(event)
+                po_index += 1
+            elif op.kind is OpKind.WRITE:
+                event = write_event(op.op_id, thread.pid, po_index, op.address,
+                                    op.value)
+                events.append(event)
+                write_by_value[op.value] = event
+                po_index += 1
+            elif op.kind is OpKind.RMW:
+                read = read_event(op.op_id, thread.pid, po_index, op.address, -1,
+                                  is_atomic=True)
+                write = write_event(op.op_id, thread.pid, po_index + 1,
+                                    op.address, op.value, is_atomic=True)
+                events.extend([read, write])
+                write_by_value[op.value] = write
+                po_index += 2
+            # CACHE_FLUSH and DELAY produce no memory events.
+        program_order[thread.pid] = events
+        for event in events:
+            event_by_eid[event.eid] = event
+    return program_order, write_by_value, event_by_eid
+
+
+def execution_from_trace(threads: list[TestThread],
+                         trace: ExecutionTrace) -> CandidateExecution:
+    """Combine the static program with one iteration's observations."""
+    program_order, write_by_value, event_by_eid = _static_events(threads)
+    execution = CandidateExecution(program_order=program_order)
+    init_writes: dict[int, Event] = {}
+
+    def source_write(address: int, value: int) -> Event:
+        if value == 0:
+            return init_writes.setdefault(address, init_write(address))
+        write = write_by_value.get(value)
+        if write is None:
+            raise ExecutionBuildError(
+                f"read observed value {value} at {address:#x}, but no write "
+                "produces that value (memory corruption)")
+        if write.address != address:
+            raise ExecutionBuildError(
+                f"read at {address:#x} observed value {value} written to "
+                f"{write.address:#x} (memory corruption)")
+        return write
+
+    # Fill in read values and rf.
+    observed_reads: dict[tuple, int] = {}
+    for record in trace.reads:
+        observed_reads[(record.op_id, "R")] = record.value
+    for record in trace.rmws:
+        observed_reads[(record.op_id, "R")] = record.read_value
+
+    events: list[Event] = []
+    for pid, thread_events in program_order.items():
+        refreshed: list[Event] = []
+        for event in thread_events:
+            if event.is_read:
+                value = observed_reads.get(event.eid)
+                if value is None:
+                    raise ExecutionBuildError(
+                        f"no observation for read event {event.eid} "
+                        f"(thread {pid} did not complete?)")
+                event = Event(eid=event.eid, pid=event.pid, kind=event.kind,
+                              address=event.address, value=value,
+                              po_index=event.po_index, is_atomic=event.is_atomic)
+            refreshed.append(event)
+            events.append(event)
+        program_order[pid] = refreshed
+    execution.events = events
+    event_by_eid = {event.eid: event for event in events}
+
+    for event in events:
+        if event.is_read:
+            source = source_write(event.address, event.value)
+            execution.rf.add(source, event)
+            execution.rf_sources[event] = source
+
+    # Coherence order from observed overwrites.
+    co_successor: dict[Event, Event] = {}
+    for record in trace.writes + [
+            record for record in trace.rmws]:
+        if hasattr(record, "written_value"):
+            this_write = event_by_eid.get((record.op_id, "W"))
+            overwritten = record.overwritten
+        else:
+            this_write = event_by_eid.get((record.op_id, "W"))
+            overwritten = record.overwritten
+        if this_write is None:
+            raise ExecutionBuildError(
+                f"observed write for unknown op {record.op_id}")
+        previous = source_write(record.address, overwritten)
+        if previous == this_write:
+            raise ExecutionBuildError(
+                f"write {this_write.eid} observed to overwrite itself")
+        existing = co_successor.get(previous)
+        if existing is not None and existing != this_write:
+            raise ExecutionBuildError(
+                f"coherence order branches at {previous.eid}: both "
+                f"{existing.eid} and {this_write.eid} overwrote value "
+                f"{previous.value} (lost update)")
+        co_successor[previous] = this_write
+        execution.co.add(previous, this_write)
+
+    # Per-address co chains and derived fr edges.
+    chain_heads: dict[int, Event] = {}
+    for address in {event.address for event in events}:
+        chain_heads[address] = init_writes.setdefault(address,
+                                                      init_write(address))
+    for address, head in chain_heads.items():
+        chain = [head]
+        seen = {head}
+        walker = head
+        while walker in co_successor:
+            walker = co_successor[walker]
+            if walker in seen:
+                raise ExecutionBuildError(
+                    f"coherence order at {address:#x} contains a cycle")
+            chain.append(walker)
+            seen.add(walker)
+        execution.co_chains[address] = chain
+
+    for read, source in execution.rf_sources.items():
+        chain = execution.co_chains.get(read.address, [])
+        if source in chain:
+            index = chain.index(source)
+            if index + 1 < len(chain):
+                execution.fr.add(read, chain[index + 1])
+    return execution

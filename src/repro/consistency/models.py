@@ -1,0 +1,105 @@
+"""Axiomatic memory consistency models (SC and TSO).
+
+A model contributes two ingredients to the checker:
+
+* the *preserved program order* (ppo) plus fence-induced orderings, as a
+  sparse generator relation whose transitive closure over each thread equals
+  the model's ppo;
+* whether internal reads-from edges (a thread reading its own earlier write
+  out of its store buffer) participate in the global-happens-before check
+  (they do under SC, they do not under TSO).
+
+TSO (x86/SPARC): all program order is preserved except write->read to a
+different or same location (the store buffer), and locked RMWs act as full
+fences.  SC preserves all of program order.
+"""
+
+from __future__ import annotations
+
+from repro.consistency.events import Event
+from repro.consistency.execution import CandidateExecution
+from repro.consistency.relations import Relation
+
+
+class MemoryModel:
+    """Base class for axiomatic models."""
+
+    name = "abstract"
+    #: include internal (same-thread) rf edges in the global check
+    includes_internal_rf = True
+
+    def preserved_program_order(self, execution: CandidateExecution) -> Relation:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class SequentialConsistency(MemoryModel):
+    """SC: nothing is reordered (Lamport 1979)."""
+
+    name = "SC"
+    includes_internal_rf = True
+
+    def preserved_program_order(self, execution: CandidateExecution) -> Relation:
+        return execution.po_edges()
+
+
+class TotalStoreOrder(MemoryModel):
+    """TSO: write->read may be reordered; locked RMWs are fences.
+
+    The generator edges emitted per thread are:
+
+    * ``event -> next event`` unless it is a write->read pair,
+    * ``read -> next read``  (so reads order with all later events),
+    * ``write -> next write`` (so writes order with all later writes),
+    * around an atomic (RMW) pair: ``previous event -> rmw read`` and
+      ``rmw write -> next event`` unconditionally (fence semantics).
+
+    The transitive closure of these edges over one thread's events is
+    exactly TSO's ppo (plus fences); the checker only needs reachability,
+    so the sparse generator set suffices.
+    """
+
+    name = "TSO"
+    includes_internal_rf = False
+
+    def preserved_program_order(self, execution: CandidateExecution) -> Relation:
+        relation = Relation()
+        for events in execution.program_order.values():
+            self._thread_edges(events, relation)
+        return relation
+
+    @staticmethod
+    def _thread_edges(events: list[Event], relation: Relation) -> None:
+        for index, event in enumerate(events):
+            nxt = events[index + 1] if index + 1 < len(events) else None
+            if nxt is not None:
+                is_store_load = event.is_write and nxt.is_read
+                fence_involved = event.is_atomic or nxt.is_atomic
+                if not is_store_load or fence_involved:
+                    relation.add(event, nxt)
+            if event.is_read:
+                for later in events[index + 1:]:
+                    if later.is_read:
+                        relation.add(event, later)
+                        break
+            if event.is_write:
+                for later in events[index + 1:]:
+                    if later.is_write:
+                        relation.add(event, later)
+                        break
+
+
+_MODELS = {
+    "SC": SequentialConsistency,
+    "TSO": TotalStoreOrder,
+}
+
+
+def model_by_name(name: str) -> MemoryModel:
+    try:
+        return _MODELS[name.upper()]()
+    except KeyError:
+        raise ValueError(f"unknown memory model {name!r}; "
+                         f"available: {sorted(_MODELS)}") from None

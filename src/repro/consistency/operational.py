@@ -1,0 +1,142 @@
+"""Operational models: exhaustive outcome enumeration for small programs.
+
+The paper (§2.1) contrasts axiomatic models with operational models
+("relaxed scoreboards").  For small litmus-sized programs we can do better
+than monitoring: this module *enumerates* every outcome an operational
+x86-TSO machine (per-thread FIFO store buffer + shared memory) or an SC
+machine can produce.  It is used to validate the litmus corpus (forbidden
+outcomes really are unreachable) and to cross-check the axiomatic checker
+in tests: an outcome is TSO-reachable operationally iff the corresponding
+candidate execution passes the axiomatic TSO check.
+
+The state space is exponential, so this is only intended for programs of
+litmus size (a handful of operations per thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.sim.testprogram import OpKind, TestThread
+
+# An outcome maps read op_id -> value observed.
+Outcome = frozenset[tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class _ThreadState:
+    next_op: int
+    store_buffer: tuple[tuple[int, int], ...]      # (address, value) FIFO
+    reads: tuple[tuple[int, int], ...]             # (op_id, value)
+
+
+def _forward(store_buffer: tuple[tuple[int, int], ...], address: int) -> int | None:
+    for buffered_address, value in reversed(store_buffer):
+        if buffered_address == address:
+            return value
+    return None
+
+
+def enumerate_outcomes(threads: list[TestThread], model: str = "TSO",
+                       max_states: int = 2_000_000) -> set[Outcome]:
+    """All outcomes reachable under the given operational model.
+
+    ``model`` is ``"TSO"`` (per-thread FIFO store buffers, loads may bypass
+    buffered stores of other addresses and forward from own stores) or
+    ``"SC"`` (no store buffers: stores update memory atomically in program
+    order).
+    """
+    if model not in ("TSO", "SC"):
+        raise ValueError(f"unknown operational model {model!r}")
+    initial_threads = tuple(_ThreadState(0, (), ()) for _ in threads)
+    initial = (initial_threads, frozenset())
+    seen = {initial}
+    frontier = [initial]
+    outcomes: set[Outcome] = set()
+    explored = 0
+
+    while frontier:
+        explored += 1
+        if explored > max_states:
+            raise RuntimeError("operational enumeration exceeded state budget")
+        thread_states, memory = frontier.pop()
+        memory_map = dict(memory)
+        finished = all(state.next_op >= len(threads[i].ops)
+                       and not state.store_buffer
+                       for i, state in enumerate(thread_states))
+        if finished:
+            outcome: set[tuple[int, int]] = set()
+            for state in thread_states:
+                outcome.update(state.reads)
+            outcomes.add(frozenset(outcome))
+            continue
+
+        successors = []
+        for index, state in enumerate(thread_states):
+            thread = threads[index]
+            # Drain the oldest buffered store to memory.
+            if state.store_buffer:
+                (address, value), rest = state.store_buffer[0], state.store_buffer[1:]
+                new_memory = dict(memory_map)
+                new_memory[address] = value
+                successors.append((index,
+                                   _ThreadState(state.next_op, rest, state.reads),
+                                   new_memory))
+            if state.next_op >= len(thread.ops):
+                continue
+            op = thread.ops[state.next_op]
+            if op.kind in (OpKind.READ, OpKind.READ_ADDR_DP):
+                forwarded = _forward(state.store_buffer, op.address)
+                value = forwarded if forwarded is not None else memory_map.get(
+                    op.address, 0)
+                successors.append((index, _ThreadState(
+                    state.next_op + 1, state.store_buffer,
+                    state.reads + ((op.op_id, value),)), memory_map))
+            elif op.kind is OpKind.WRITE:
+                if model == "SC":
+                    new_memory = dict(memory_map)
+                    new_memory[op.address] = op.value
+                    successors.append((index, _ThreadState(
+                        state.next_op + 1, (), state.reads), new_memory))
+                else:
+                    successors.append((index, _ThreadState(
+                        state.next_op + 1,
+                        state.store_buffer + ((op.address, op.value),),
+                        state.reads), memory_map))
+            elif op.kind is OpKind.RMW:
+                if state.store_buffer:
+                    continue  # fence: buffer must drain first
+                read_value = memory_map.get(op.address, 0)
+                new_memory = dict(memory_map)
+                new_memory[op.address] = op.value
+                successors.append((index, _ThreadState(
+                    state.next_op + 1, (),
+                    state.reads + ((op.op_id, read_value),)), new_memory))
+            elif op.kind in (OpKind.CACHE_FLUSH, OpKind.DELAY):
+                successors.append((index, _ThreadState(
+                    state.next_op + 1, state.store_buffer, state.reads),
+                    memory_map))
+
+        for index, new_state, new_memory in successors:
+            new_threads = list(thread_states)
+            new_threads[index] = new_state
+            next_state = (tuple(new_threads), frozenset(new_memory.items()))
+            if next_state not in seen:
+                seen.add(next_state)
+                frontier.append(next_state)
+    return outcomes
+
+
+def outcome_allowed(threads: list[TestThread], observed: dict[int, int],
+                    model: str = "TSO") -> bool:
+    """Is the observed {read op_id: value} mapping reachable under *model*?"""
+    target = frozenset(observed.items())
+    return target in enumerate_outcomes(threads, model=model)
+
+
+def all_read_outcomes(threads: list[TestThread], model: str = "TSO"
+                      ) -> set[tuple[tuple[int, int], ...]]:
+    """Outcomes as sorted tuples, convenient for comparisons in tests."""
+    return {tuple(sorted(outcome)) for outcome in
+            enumerate_outcomes(threads, model=model)}

@@ -1,0 +1,123 @@
+"""Relation utilities: sparse directed graphs over events, cycle search.
+
+At the core of the axiomatic checker is a depth-first search for cycles in
+the union of the relevant relations (paper §2.1: "At the core of an
+axiomatic model checker ... is a graph-search algorithm").
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class Relation:
+    """A sparse binary relation (directed graph) over hashable nodes."""
+
+    def __init__(self, edges: Iterable[Edge] = ()) -> None:
+        self._succ: dict[Node, set[Node]] = {}
+        for src, dst in edges:
+            self.add(src, dst)
+
+    def add(self, src: Node, dst: Node) -> None:
+        self._succ.setdefault(src, set()).add(dst)
+
+    def update(self, other: "Relation") -> None:
+        for src, dsts in other._succ.items():
+            self._succ.setdefault(src, set()).update(dsts)
+
+    def successors(self, node: Node) -> frozenset[Node]:
+        return frozenset(self._succ.get(node, frozenset()))
+
+    def edges(self) -> Iterable[Edge]:
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield (src, dst)
+
+    def __contains__(self, edge: Edge) -> bool:
+        src, dst = edge
+        return dst in self._succ.get(src, ())
+
+    def __len__(self) -> int:
+        return sum(len(dsts) for dsts in self._succ.values())
+
+    def nodes(self) -> set[Node]:
+        found: set[Node] = set(self._succ)
+        for dsts in self._succ.values():
+            found.update(dsts)
+        return found
+
+    def union(*relations: "Relation") -> "Relation":
+        merged = Relation()
+        for relation in relations:
+            merged.update(relation)
+        return merged
+
+    # ------------------------------------------------------------------
+
+    def find_cycle(self) -> list[Node] | None:
+        """Return one cycle (as a node list) or None if the relation is acyclic.
+
+        Iterative DFS with colouring; the returned list is the cycle path
+        ``[n0, n1, ..., n0]`` used for diagnostics.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: dict[Node, int] = {}
+        parent: dict[Node, Node] = {}
+
+        for start in list(self._succ):
+            if colour.get(start, WHITE) != WHITE:
+                continue
+            stack: list[tuple[Node, Iterable[Node]]] = [
+                (start, iter(sorted(self._succ.get(start, ()), key=repr)))]
+            colour[start] = GREY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    state = colour.get(child, WHITE)
+                    if state == GREY:
+                        cycle = [child, node]
+                        walker = node
+                        while walker != child:
+                            walker = parent[walker]
+                            cycle.append(walker)
+                        cycle.reverse()
+                        return cycle
+                    if state == WHITE:
+                        colour[child] = GREY
+                        parent[child] = node
+                        stack.append(
+                            (child, iter(sorted(self._succ.get(child, ()),
+                                                key=repr))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+    def is_acyclic(self) -> bool:
+        return self.find_cycle() is None
+
+    def transitive_closure(self) -> "Relation":
+        """Full transitive closure (only used on small relations in tests)."""
+        closure = Relation(self.edges())
+        changed = True
+        while changed:
+            changed = False
+            for src in list(closure._succ):
+                reachable = set(closure._succ[src])
+                frontier = set(reachable)
+                while frontier:
+                    node = frontier.pop()
+                    for nxt in closure._succ.get(node, ()):
+                        if nxt not in reachable:
+                            reachable.add(nxt)
+                            frontier.add(nxt)
+                if reachable - closure._succ[src]:
+                    closure._succ[src] = reachable
+                    changed = True
+        return closure

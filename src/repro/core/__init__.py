@@ -1,0 +1,46 @@
+"""McVerSi core: GP-based MCM test generation (paper §3).
+
+This package contains the paper's primary contribution:
+
+* a flat-list / DAG test representation (:mod:`repro.core.program`),
+* biased pseudo-random test generation (:mod:`repro.core.generator`),
+* the non-determinism metrics NDT and NDe (:mod:`repro.core.nondeterminism`),
+* the selective crossover and mutation of Algorithm 1
+  (:mod:`repro.core.crossover`),
+* adaptive coverage-based fitness (:mod:`repro.core.fitness`),
+* a steady-state GA with tournament selection and delete-oldest replacement
+  (:mod:`repro.core.population`),
+* the verification engine tying test execution, conflict-order observation
+  and MCM checking together (:mod:`repro.core.engine`), and
+* campaign drivers that compare McVerSi-ALL, McVerSi-Std.XO, McVerSi-RAND
+  and litmus testing (:mod:`repro.core.campaign`).
+"""
+
+from repro.core.config import GeneratorConfig, OperationBias
+from repro.core.program import Chromosome
+from repro.core.generator import RandomTestGenerator
+from repro.core.nondeterminism import TestRunStats
+from repro.core.crossover import selective_crossover_mutate, single_point_crossover
+from repro.core.fitness import AdaptiveCoverageFitness, NdtAugmentedFitness
+from repro.core.population import Individual, SteadyStateGA
+from repro.core.engine import TestRunResult, VerificationEngine
+from repro.core.campaign import Campaign, CampaignResult, GeneratorKind
+
+__all__ = [
+    "GeneratorConfig",
+    "OperationBias",
+    "Chromosome",
+    "RandomTestGenerator",
+    "TestRunStats",
+    "selective_crossover_mutate",
+    "single_point_crossover",
+    "AdaptiveCoverageFitness",
+    "NdtAugmentedFitness",
+    "Individual",
+    "SteadyStateGA",
+    "TestRunResult",
+    "VerificationEngine",
+    "Campaign",
+    "CampaignResult",
+    "GeneratorKind",
+]

@@ -1,0 +1,234 @@
+"""Bug-finding campaigns: McVerSi-ALL, McVerSi-Std.XO, McVerSi-RAND, litmus.
+
+A campaign runs one test generator against one (possibly fault-injected)
+system until a bug is found or the evaluation/time budget is exhausted,
+mirroring the generator/bug pairs of paper Table 4.  GP campaigns maintain a
+steady-state population (tournament selection, delete-oldest replacement);
+the pseudo-random campaign evaluates fresh random tests; the litmus campaign
+cycles through the diy corpus.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.consistency.models import MemoryModel, TotalStoreOrder
+from repro.core.config import GeneratorConfig
+from repro.core.crossover import selective_crossover_mutate, single_point_crossover
+from repro.core.engine import TestRunResult, VerificationEngine
+from repro.core.fitness import AdaptiveCoverageFitness, NdtAugmentedFitness
+from repro.core.generator import RandomTestGenerator
+from repro.core.population import SteadyStateGA
+from repro.sim.config import SystemConfig
+from repro.sim.coverage import CoverageCollector
+from repro.sim.faults import FaultSet
+
+
+class GeneratorKind(Enum):
+    """The test generation strategies compared in the evaluation."""
+
+    MCVERSI_ALL = "McVerSi-ALL"
+    MCVERSI_STD_XO = "McVerSi-Std.XO"
+    MCVERSI_RAND = "McVerSi-RAND"
+    DIY_LITMUS = "diy-litmus"
+
+    @property
+    def is_genetic(self) -> bool:
+        return self in (GeneratorKind.MCVERSI_ALL, GeneratorKind.MCVERSI_STD_XO)
+
+    @property
+    def is_stateless(self) -> bool:
+        """Stateless generators do not improve their tests over time (§6.1)."""
+        return not self.is_genetic
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one generator/bug campaign (one sample of Table 4)."""
+
+    kind: GeneratorKind
+    found: bool
+    evaluations: int
+    evaluations_to_find: int | None
+    wall_seconds: float
+    detail: list[str] = field(default_factory=list)
+    total_coverage: float = 0.0
+    ndt_history: list[float] = field(default_factory=list)
+    mean_ndt_final: float = 0.0
+    sim_seconds: float = 0.0
+    check_seconds: float = 0.0
+
+    @property
+    def found_within(self) -> int:
+        """Evaluations needed, or a sentinel larger than any budget."""
+        return self.evaluations_to_find if self.evaluations_to_find else 1 << 30
+
+
+class Campaign:
+    """Runs one generator strategy against one system configuration."""
+
+    def __init__(self, kind: GeneratorKind, generator_config: GeneratorConfig,
+                 system_config: SystemConfig,
+                 faults: FaultSet | None = None,
+                 model: MemoryModel | None = None,
+                 seed: int = 0) -> None:
+        self.kind = kind
+        self.generator_config = generator_config
+        self.system_config = system_config
+        self.faults = faults or FaultSet.none()
+        self.model = model or TotalStoreOrder()
+        self.seed = seed
+        self.coverage = CoverageCollector()
+        if kind is GeneratorKind.MCVERSI_STD_XO:
+            fitness = NdtAugmentedFitness(
+                self.coverage,
+                initial_cutoff=generator_config.coverage_initial_cutoff,
+                low_threshold=generator_config.coverage_low_threshold,
+                patience=generator_config.coverage_patience)
+        else:
+            fitness = AdaptiveCoverageFitness(
+                self.coverage,
+                initial_cutoff=generator_config.coverage_initial_cutoff,
+                low_threshold=generator_config.coverage_low_threshold,
+                patience=generator_config.coverage_patience)
+        self.engine = VerificationEngine(
+            generator_config, system_config, faults=self.faults,
+            model=self.model, coverage=self.coverage, fitness=fitness,
+            seed=seed)
+        self.rng = random.Random(seed ^ 0xC0FFEE)
+        self.generator = RandomTestGenerator(generator_config, self.rng)
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_evaluations: int,
+            time_limit_seconds: float | None = None) -> CampaignResult:
+        if self.kind is GeneratorKind.DIY_LITMUS:
+            return self._run_litmus(max_evaluations, time_limit_seconds)
+        if self.kind is GeneratorKind.MCVERSI_RAND:
+            return self._run_random(max_evaluations, time_limit_seconds)
+        return self._run_genetic(max_evaluations, time_limit_seconds)
+
+    # ------------------------------------------------------------------
+
+    def _budget_exhausted(self, evaluations: int, max_evaluations: int,
+                          started: float,
+                          time_limit_seconds: float | None) -> bool:
+        if evaluations >= max_evaluations:
+            return True
+        if (time_limit_seconds is not None
+                and time.perf_counter() - started > time_limit_seconds):
+            return True
+        return False
+
+    def _result(self, found: bool, evaluations: int,
+                evaluations_to_find: int | None, started: float,
+                detail: list[str], ndt_history: list[float],
+                mean_ndt_final: float, sim_seconds: float,
+                check_seconds: float) -> CampaignResult:
+        return CampaignResult(
+            kind=self.kind, found=found, evaluations=evaluations,
+            evaluations_to_find=evaluations_to_find,
+            wall_seconds=time.perf_counter() - started, detail=detail,
+            total_coverage=self.coverage.total_coverage(),
+            ndt_history=ndt_history, mean_ndt_final=mean_ndt_final,
+            sim_seconds=sim_seconds, check_seconds=check_seconds)
+
+    # ------------------------------------------------------------------
+
+    def _run_random(self, max_evaluations: int,
+                    time_limit_seconds: float | None) -> CampaignResult:
+        started = time.perf_counter()
+        ndt_history: list[float] = []
+        sim_seconds = check_seconds = 0.0
+        evaluations = 0
+        while not self._budget_exhausted(evaluations, max_evaluations, started,
+                                         time_limit_seconds):
+            evaluations += 1
+            result = self.engine.run_test(self.generator.generate())
+            sim_seconds += result.sim_seconds
+            check_seconds += result.check_seconds
+            ndt_history.append(result.ndt)
+            if result.bug_found:
+                return self._result(True, evaluations, evaluations, started,
+                                    result.violations, ndt_history,
+                                    result.ndt, sim_seconds, check_seconds)
+        return self._result(False, evaluations, None, started, [], ndt_history,
+                            ndt_history[-1] if ndt_history else 0.0,
+                            sim_seconds, check_seconds)
+
+    def _run_litmus(self, max_evaluations: int,
+                    time_limit_seconds: float | None) -> CampaignResult:
+        from repro.litmus.runner import LitmusRunner
+
+        started = time.perf_counter()
+        runner = LitmusRunner(self.engine)
+        litmus_result = runner.run(max_evaluations, time_limit_seconds)
+        detail = list(litmus_result.detail)
+        if litmus_result.failing_test:
+            detail.insert(0, f"failing litmus test: {litmus_result.failing_test}")
+        return self._result(litmus_result.found, litmus_result.evaluations,
+                            litmus_result.evaluations_to_find, started, detail,
+                            [], 0.0, 0.0, 0.0)
+
+    def _run_genetic(self, max_evaluations: int,
+                     time_limit_seconds: float | None) -> CampaignResult:
+        started = time.perf_counter()
+        config = self.generator_config
+        population = SteadyStateGA(capacity=config.population_size,
+                                   tournament_size=config.tournament_size,
+                                   rng=self.rng)
+        ndt_history: list[float] = []
+        sim_seconds = check_seconds = 0.0
+        evaluations = 0
+
+        def evaluate(chromosome) -> TestRunResult:
+            nonlocal evaluations, sim_seconds, check_seconds
+            evaluations += 1
+            result = self.engine.run_test(chromosome)
+            sim_seconds += result.sim_seconds
+            check_seconds += result.check_seconds
+            ndt_history.append(result.ndt)
+            population.insert(chromosome, result.fitness.fitness, result.stats,
+                              bug_found=result.bug_found)
+            return result
+
+        # Seed the population with random tests.
+        initial = min(config.population_size, max_evaluations)
+        for _ in range(initial):
+            if self._budget_exhausted(evaluations, max_evaluations, started,
+                                      time_limit_seconds):
+                break
+            result = evaluate(self.generator.generate())
+            if result.bug_found:
+                return self._result(True, evaluations, evaluations, started,
+                                    result.violations, ndt_history,
+                                    population.mean_ndt(), sim_seconds,
+                                    check_seconds)
+
+        # Steady-state evolution loop.
+        while not self._budget_exhausted(evaluations, max_evaluations, started,
+                                         time_limit_seconds):
+            parent1, parent2 = population.select_parents()
+            if self.rng.random() < config.crossover_probability:
+                if self.kind is GeneratorKind.MCVERSI_ALL:
+                    child = selective_crossover_mutate(
+                        parent1.chromosome, parent2.chromosome,
+                        parent1.stats, parent2.stats, config,
+                        self.generator, self.rng)
+                else:
+                    child = single_point_crossover(
+                        parent1.chromosome, parent2.chromosome, config,
+                        self.generator, self.rng)
+            else:
+                child = self.generator.generate()
+            result = evaluate(child)
+            if result.bug_found:
+                return self._result(True, evaluations, evaluations, started,
+                                    result.violations, ndt_history,
+                                    population.mean_ndt(), sim_seconds,
+                                    check_seconds)
+        return self._result(False, evaluations, None, started, [], ndt_history,
+                            population.mean_ndt(), sim_seconds, check_seconds)

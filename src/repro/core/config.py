@@ -1,0 +1,131 @@
+"""Test generation parameters (paper Table 3).
+
+``GeneratorConfig.paper_table3()`` reproduces the exact parameters of the
+paper; the default constructor uses a scaled-down test size so that the
+pure-Python simulator can evaluate many test-runs quickly.  The operation
+mix, GP parameters and the 1KB/8KB test-memory options are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.config import TestMemoryLayout
+from repro.sim.testprogram import OpKind
+
+
+@dataclass(frozen=True)
+class OperationBias:
+    """Relative weights of the operation classes (Table 3)."""
+
+    read: float = 0.50
+    read_addr_dp: float = 0.05
+    write: float = 0.42
+    rmw: float = 0.01
+    cache_flush: float = 0.01
+    delay: float = 0.01
+
+    def __post_init__(self) -> None:
+        if min(self.as_dict().values()) < 0:
+            raise ValueError("operation biases must be non-negative")
+        if self.total <= 0:
+            raise ValueError("at least one operation bias must be positive")
+
+    @property
+    def total(self) -> float:
+        return sum(self.as_dict().values())
+
+    def as_dict(self) -> dict[OpKind, float]:
+        return {
+            OpKind.READ: self.read,
+            OpKind.READ_ADDR_DP: self.read_addr_dp,
+            OpKind.WRITE: self.write,
+            OpKind.RMW: self.rmw,
+            OpKind.CACHE_FLUSH: self.cache_flush,
+            OpKind.DELAY: self.delay,
+        }
+
+    def normalised(self) -> dict[OpKind, float]:
+        total = self.total
+        return {kind: weight / total for kind, weight in self.as_dict().items()}
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """All test-generation and GP parameters."""
+
+    # Test shape.
+    test_size: int = 96                 # operations, total across threads
+    num_threads: int = 4
+    iterations: int = 4                 # test executions per test-run
+    memory: TestMemoryLayout = field(
+        default_factory=lambda: TestMemoryLayout.kib(8))
+    bias: OperationBias = field(default_factory=OperationBias)
+    delay_max: int = 24                 # cycles for the Delay operation
+
+    # GP parameters (identical to Table 3 unless noted).
+    population_size: int = 100
+    tournament_size: int = 2
+    mutation_probability: float = 0.005         # PMUT
+    crossover_probability: float = 1.0
+    unconditional_selection_probability: float = 0.2   # PUSEL
+    fitaddr_bias: float = 0.05                  # PBFA
+
+    # Adaptive-coverage fitness (paper §3.2).
+    coverage_initial_cutoff: int = 4
+    coverage_low_threshold: float = 0.05
+    coverage_patience: int = 25
+
+    def __post_init__(self) -> None:
+        if self.test_size < self.num_threads:
+            raise ValueError("test size must be at least one op per thread")
+        if self.iterations < 2:
+            raise ValueError(
+                "NDT is only meaningful with more than one iteration per "
+                "test-run (paper §3.1)")
+        if not 0 <= self.mutation_probability <= 1:
+            raise ValueError("PMUT must be a probability")
+        if not 0 <= self.unconditional_selection_probability <= 1:
+            raise ValueError("PUSEL must be a probability")
+        if not 0 <= self.fitaddr_bias <= 1:
+            raise ValueError("PBFA must be a probability")
+        if self.population_size < 2 or self.tournament_size < 1:
+            raise ValueError("invalid GP population parameters")
+
+    @classmethod
+    def paper_table3(cls, memory_kib: int = 8) -> "GeneratorConfig":
+        """The unscaled Table 3 configuration (1k ops, 10 iterations)."""
+        return cls(test_size=1000, num_threads=8, iterations=10,
+                   memory=TestMemoryLayout.kib(memory_kib),
+                   population_size=100, tournament_size=2,
+                   mutation_probability=0.005, crossover_probability=1.0,
+                   unconditional_selection_probability=0.2, fitaddr_bias=0.05)
+
+    @classmethod
+    def quick(cls, memory_kib: int = 8, num_threads: int = 4,
+              test_size: int = 64, iterations: int = 3,
+              population_size: int = 12) -> "GeneratorConfig":
+        """A small configuration for fast campaigns in tests/benchmarks."""
+        return cls(test_size=test_size, num_threads=num_threads,
+                   iterations=iterations,
+                   memory=TestMemoryLayout.kib(memory_kib),
+                   population_size=population_size)
+
+    def describe(self) -> dict[str, str]:
+        """Human-readable parameter table (used by the Table 3 benchmark)."""
+        biases = ", ".join(f"{kind.value}:{weight:.0%}"
+                           for kind, weight in self.bias.normalised().items())
+        return {
+            "Test size": f"{self.test_size} operations (total across threads)",
+            "Threads": str(self.num_threads),
+            "Iterations": f"{self.iterations} test executions per test-run",
+            "Test memory (stride)": (
+                f"{self.memory.size_bytes // 1024}KB ({self.memory.stride}B)"),
+            "Operations:bias%": biases,
+            "Population size": str(self.population_size),
+            "Tournament size": str(self.tournament_size),
+            "Mutation probability (PMUT)": str(self.mutation_probability),
+            "Crossover probability": str(self.crossover_probability),
+            "PUSEL": str(self.unconditional_selection_probability),
+            "PBFA": str(self.fitaddr_bias),
+        }

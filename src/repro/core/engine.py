@@ -1,0 +1,138 @@
+"""The verification engine: run test-runs, observe, check, score.
+
+This is the host-side driver of the paper's Algorithm 2.  For each test-run
+it executes the test for the configured number of iterations on a freshly
+perturbed system, observes the conflict orders of every iteration, checks
+every candidate execution against the target memory model, folds the
+conflict orders into the test's rfcoRUN union (for NDT/NDe), and finally
+computes the test's fitness from the coverage the run achieved.
+
+A bug is "found" when any iteration yields (a) an axiomatic-model violation,
+(b) an inconsistent trace (memory corruption / lost update), (c) a protocol
+error (invalid transition, the Ruby-style detection of MESI+PUTX-Race), or
+(d) a deadlock.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.consistency.checker import Checker
+from repro.consistency.models import MemoryModel, TotalStoreOrder
+from repro.core.config import GeneratorConfig
+from repro.core.fitness import AdaptiveCoverageFitness, FitnessReport
+from repro.core.nondeterminism import TestRunStats
+from repro.core.program import Chromosome
+from repro.sim.config import SystemConfig
+from repro.sim.coverage import CoverageCollector
+from repro.sim.faults import FaultSet
+from repro.sim.host import HostAssistedBarrier
+from repro.sim.system import System
+
+
+@dataclass
+class TestRunResult:
+    """Everything the GP loop needs to know about one evaluated test-run."""
+
+    chromosome: Chromosome
+    stats: TestRunStats
+    fitness: FitnessReport
+    bug_found: bool
+    violations: list[str] = field(default_factory=list)
+    iterations_run: int = 0
+    sim_seconds: float = 0.0
+    check_seconds: float = 0.0
+    loads_squashed: int = 0
+    ticks: int = 0
+
+    @property
+    def ndt(self) -> float:
+        return self.stats.ndt()
+
+
+class VerificationEngine:
+    """Executes and scores test-runs on a (possibly fault-injected) system."""
+
+    def __init__(self, generator_config: GeneratorConfig,
+                 system_config: SystemConfig,
+                 faults: FaultSet | None = None,
+                 model: MemoryModel | None = None,
+                 coverage: CoverageCollector | None = None,
+                 fitness: AdaptiveCoverageFitness | None = None,
+                 barrier: object | None = None,
+                 seed: int = 0) -> None:
+        self.generator_config = generator_config
+        self.system_config = system_config
+        self.faults = faults or FaultSet.none()
+        self.model = model or TotalStoreOrder()
+        self.coverage = coverage or CoverageCollector()
+        self.checker = Checker(self.model)
+        self.fitness = fitness or AdaptiveCoverageFitness(
+            self.coverage,
+            initial_cutoff=generator_config.coverage_initial_cutoff,
+            low_threshold=generator_config.coverage_low_threshold,
+            patience=generator_config.coverage_patience)
+        self.barrier = barrier or HostAssistedBarrier()
+        # Bound each iteration's simulated time relative to the test size so
+        # that deadlocked (buggy) iterations are detected quickly rather than
+        # burning the whole host-time budget.
+        max_ticks = 60_000 + 3_000 * generator_config.test_size
+        self.system = System(config=system_config, faults=self.faults,
+                             coverage=self.coverage, barrier=self.barrier,
+                             max_ticks=max_ticks)
+        self._seed_sequence = random.Random(seed)
+        self.test_runs = 0
+
+    # ------------------------------------------------------------------
+
+    def run_test(self, chromosome: Chromosome) -> TestRunResult:
+        """Run one test-run (several iterations) and score it."""
+        self.test_runs += 1
+        self.coverage.begin_run()
+        threads = chromosome.to_threads()
+        event_addresses = chromosome.event_addresses()
+        stats = TestRunStats(num_events=max(len(event_addresses), 1),
+                             event_addresses=event_addresses)
+        violations: list[str] = []
+        bug_found = False
+        sim_seconds = 0.0
+        check_seconds = 0.0
+        loads_squashed = 0
+        ticks = 0
+        iterations_run = 0
+
+        for _ in range(self.generator_config.iterations):
+            iterations_run += 1
+            seed = self._seed_sequence.getrandbits(32)
+            started = time.perf_counter()
+            iteration = self.system.run_iteration(threads, seed)
+            sim_seconds += time.perf_counter() - started
+            loads_squashed += iteration.loads_squashed
+            ticks += iteration.ticks
+            if iteration.protocol_error is not None:
+                violations.append(f"protocol error: {iteration.protocol_error}")
+                bug_found = True
+                break
+            if iteration.deadlock:
+                violations.append("deadlock: simulation did not quiesce")
+                bug_found = True
+                break
+            started = time.perf_counter()
+            check = self.checker.check_trace(threads, iteration.trace)
+            check_seconds += time.perf_counter() - started
+            if not check.passed:
+                violations.extend(str(violation) for violation in check.violations)
+                bug_found = True
+                break
+            if check.execution is not None:
+                stats.add_iteration(check.execution.conflict_edges())
+
+        report = self.fitness.evaluate(self.coverage.run_transitions(),
+                                       ndt=stats.ndt())
+        return TestRunResult(chromosome=chromosome, stats=stats, fitness=report,
+                             bug_found=bug_found, violations=violations,
+                             iterations_run=iterations_run,
+                             sim_seconds=sim_seconds, check_seconds=check_seconds,
+                             loads_squashed=loads_squashed, ticks=ticks)

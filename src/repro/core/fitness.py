@@ -1,0 +1,108 @@
+"""Fitness functions (paper §3.2).
+
+The McVerSi fitness is *adaptive structural coverage*: only transitions
+whose global count is still below a cut-off are considered, so the GP
+population is steered towards rare, unexplored protocol transitions rather
+than re-covering frequent ones.  If the adaptive coverage stays below a
+threshold for too many consecutive evaluations, the cut-off doubles.
+
+``NdtAugmentedFitness`` is the fitness used by the McVerSi-Std.XO baseline
+(§5.2.1): an equal-weight combination of coverage and normalised NDT,
+compensating for the lack of the selective crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.coverage import CoverageCollector, TransitionKey
+
+
+@dataclass
+class FitnessReport:
+    """Fitness of one test-run plus the ingredients that produced it."""
+
+    fitness: float
+    adaptive_coverage: float
+    rare_transitions: int
+    covered_rare: int
+    cutoff: int
+    ndt: float = 0.0
+
+
+class AdaptiveCoverageFitness:
+    """Coverage-as-fitness with an adaptive rarity cut-off."""
+
+    def __init__(self, coverage: CoverageCollector, initial_cutoff: int = 4,
+                 low_threshold: float = 0.05, patience: int = 25) -> None:
+        if initial_cutoff < 1:
+            raise ValueError("cutoff must be at least 1")
+        self.coverage = coverage
+        self.cutoff = initial_cutoff
+        self.low_threshold = low_threshold
+        self.patience = patience
+        self.evaluations = 0
+        self._consecutive_low = 0
+        self.cutoff_history: list[tuple[int, int]] = [(0, initial_cutoff)]
+
+    def evaluate(self, run_transitions: frozenset[TransitionKey],
+                 ndt: float = 0.0) -> FitnessReport:
+        """Fitness of a test-run given the transitions it covered."""
+        self.evaluations += 1
+        rare = self.coverage.rare_transitions(self.cutoff)
+        covered_rare = len(run_transitions & rare)
+        adaptive = covered_rare / len(rare) if rare else 0.0
+        if adaptive < self.low_threshold:
+            self._consecutive_low += 1
+            if self._consecutive_low >= self.patience:
+                self.cutoff *= 2
+                self.cutoff_history.append((self.evaluations, self.cutoff))
+                self._consecutive_low = 0
+        else:
+            self._consecutive_low = 0
+        return FitnessReport(fitness=adaptive, adaptive_coverage=adaptive,
+                             rare_transitions=len(rare),
+                             covered_rare=covered_rare, cutoff=self.cutoff,
+                             ndt=ndt)
+
+
+class NdtAugmentedFitness(AdaptiveCoverageFitness):
+    """Equal-weight coverage + normalised NDT (the Std.XO fitness).
+
+    NDT is normalised with a saturating transform so that values around the
+    paper's "suitable test" region (NDT >= 2) already score highly.
+    """
+
+    def __init__(self, coverage: CoverageCollector, initial_cutoff: int = 4,
+                 low_threshold: float = 0.05, patience: int = 25,
+                 ndt_saturation: float = 4.0) -> None:
+        super().__init__(coverage, initial_cutoff, low_threshold, patience)
+        self.ndt_saturation = ndt_saturation
+
+    def evaluate(self, run_transitions: frozenset[TransitionKey],
+                 ndt: float = 0.0) -> FitnessReport:
+        report = super().evaluate(run_transitions, ndt=ndt)
+        normalised_ndt = min(ndt / self.ndt_saturation, 1.0)
+        combined = 0.5 * report.adaptive_coverage + 0.5 * normalised_ndt
+        return FitnessReport(fitness=combined,
+                             adaptive_coverage=report.adaptive_coverage,
+                             rare_transitions=report.rare_transitions,
+                             covered_rare=report.covered_rare,
+                             cutoff=report.cutoff, ndt=ndt)
+
+
+@dataclass
+class ConstantFitness:
+    """A constant fitness (used to ablate the coverage objective)."""
+
+    value: float = 0.5
+    evaluations: int = 0
+    cutoff: int = 0
+    cutoff_history: list[tuple[int, int]] = field(default_factory=list)
+
+    def evaluate(self, run_transitions: frozenset[TransitionKey],
+                 ndt: float = 0.0) -> FitnessReport:
+        self.evaluations += 1
+        return FitnessReport(fitness=self.value, adaptive_coverage=0.0,
+                             rare_transitions=0, covered_rare=0,
+                             cutoff=0, ndt=ndt)

@@ -1,0 +1,60 @@
+"""Biased pseudo-random test generation (the McVerSi-RAND baseline).
+
+Given the user constraints of paper §3.1 - the distribution of operations
+(Table 3), the usable memory address range and the stride - the generator
+produces random chromosomes.  The same machinery provides the random
+replacement slots used during mutation, optionally with addresses
+constrained to a given set (the PBFA-biased mutation of Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import GeneratorConfig
+from repro.core.program import Chromosome, make_chromosome
+from repro.sim.testprogram import OpKind, TestOp
+
+
+class RandomTestGenerator:
+    """Pseudo-random chromosome generator honouring the configured biases."""
+
+    def __init__(self, config: GeneratorConfig, rng: random.Random) -> None:
+        self.config = config
+        self.rng = rng
+        weights = config.bias.normalised()
+        self._kinds = list(weights)
+        self._weights = [weights[kind] for kind in self._kinds]
+        self._addresses = config.memory.all_addresses()
+
+    # ------------------------------------------------------------------
+
+    def random_address(self, constrain_to: set[int] | None = None) -> int:
+        """A stride-aligned address, optionally constrained to a set."""
+        if constrain_to:
+            pool = sorted(constrain_to)
+            return self.rng.choice(pool)
+        return self.rng.choice(self._addresses)
+
+    def random_slot(self, index: int,
+                    constrain_addresses: set[int] | None = None
+                    ) -> tuple[int, TestOp]:
+        """A random ``(pid, op)`` slot anchored at *index*."""
+        pid = self.rng.randrange(self.config.num_threads)
+        kind = self.rng.choices(self._kinds, weights=self._weights, k=1)[0]
+        if kind is OpKind.DELAY:
+            op = TestOp(op_id=index, kind=kind,
+                        delay=self.rng.randint(1, self.config.delay_max))
+        else:
+            address = self.random_address(constrain_addresses)
+            value = index + 1 if kind.writes_memory else 0
+            op = TestOp(op_id=index, kind=kind, address=address, value=value)
+        return pid, op
+
+    def generate(self) -> Chromosome:
+        """Generate one complete random test."""
+        slots = [self.random_slot(index) for index in range(self.config.test_size)]
+        return make_chromosome(slots, self.config.num_threads)
+
+    def generate_population(self, size: int) -> list[Chromosome]:
+        return [self.generate() for _ in range(size)]

@@ -1,0 +1,96 @@
+"""Steady-state GA: tournament selection, delete-oldest replacement.
+
+The paper (§5.2.1) uses a steady-state GA because it outperforms
+generational GAs in non-stationary environments (the coverage-based fitness
+landscape changes over time as the adaptive cut-off moves).  New offspring
+replace the *oldest* individual in the population.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.nondeterminism import TestRunStats
+from repro.core.program import Chromosome
+
+
+@dataclass
+class Individual:
+    """A chromosome with its (once-only) evaluation results attached."""
+
+    chromosome: Chromosome
+    fitness: float
+    stats: TestRunStats
+    birth: int                      # insertion counter, used for delete-oldest
+    ndt: float = 0.0
+    bug_found: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ndt == 0.0:
+            self.ndt = self.stats.ndt()
+
+
+@dataclass
+class SteadyStateGA:
+    """Population container implementing selection and replacement."""
+
+    capacity: int
+    tournament_size: int
+    rng: random.Random
+    members: list[Individual] = field(default_factory=list)
+    _births: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 2:
+            raise ValueError("population capacity must be at least 2")
+        if self.tournament_size < 1:
+            raise ValueError("tournament size must be at least 1")
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    @property
+    def full(self) -> bool:
+        return len(self.members) >= self.capacity
+
+    def insert(self, chromosome: Chromosome, fitness: float,
+               stats: TestRunStats, bug_found: bool = False) -> Individual:
+        """Add a newly evaluated individual, evicting the oldest if full."""
+        individual = Individual(chromosome=chromosome, fitness=fitness,
+                                stats=stats, birth=self._births,
+                                bug_found=bug_found)
+        self._births += 1
+        if self.full:
+            oldest = min(self.members, key=lambda member: member.birth)
+            self.members.remove(oldest)
+        self.members.append(individual)
+        return individual
+
+    def tournament_select(self) -> Individual:
+        """Pick ``tournament_size`` members at random, return the fittest."""
+        if not self.members:
+            raise RuntimeError("cannot select from an empty population")
+        contenders = [self.rng.choice(self.members)
+                      for _ in range(self.tournament_size)]
+        return max(contenders, key=lambda member: member.fitness)
+
+    def select_parents(self) -> tuple[Individual, Individual]:
+        return self.tournament_select(), self.tournament_select()
+
+    # -- statistics used by the benchmarks ---------------------------------
+
+    def mean_fitness(self) -> float:
+        if not self.members:
+            return 0.0
+        return sum(member.fitness for member in self.members) / len(self.members)
+
+    def mean_ndt(self) -> float:
+        if not self.members:
+            return 0.0
+        return sum(member.ndt for member in self.members) / len(self.members)
+
+    def best(self) -> Individual | None:
+        if not self.members:
+            return None
+        return max(self.members, key=lambda member: member.fitness)

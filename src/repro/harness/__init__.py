@@ -1,0 +1,15 @@
+"""Experiment harness: drivers and reporting for the paper's tables/figures."""
+
+from repro.harness.experiment import (BugCoverageCell, BugCoverageExperiment,
+                                      CoverageExperiment, ExperimentSettings,
+                                      budget_scaling_summary)
+from repro.harness.reporting import format_table
+
+__all__ = [
+    "BugCoverageCell",
+    "BugCoverageExperiment",
+    "CoverageExperiment",
+    "ExperimentSettings",
+    "budget_scaling_summary",
+    "format_table",
+]

@@ -1,0 +1,33 @@
+"""Plain-text table formatting for the experiment harness and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a simple aligned text table (used to print paper-style tables)."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(header.ljust(widths[index])
+                            for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[index])
+                               for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_key_value(title: str, mapping: dict[str, str]) -> str:
+    """Render a two-column key/value table (Tables 2 and 3)."""
+    rows = [(key, value) for key, value in mapping.items()]
+    return format_table(["Parameter", "Value"], rows, title=title)

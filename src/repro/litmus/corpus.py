@@ -1,0 +1,82 @@
+"""The x86-TSO litmus corpus (38 tests, paper §5.2.2).
+
+The paper generates "all litmus tests for x86-TSO - all 38 tests available"
+with diy.  This corpus reconstructs an equivalent set from critical-cycle
+specifications: the classic two-thread shapes (SB, MP, LB, S, R, 2+2W), the
+three- and four-thread shapes (WRC, RWC, IRIW, W+RWC, ISA2-like), coherence
+shapes (CoRR, CoWW, CoRW, CoWR) and mfence variants of the shapes whose
+unfenced versions are allowed under TSO.
+"""
+
+from __future__ import annotations
+
+from repro.litmus.diy import LitmusTest, generate_from_cycle
+from repro.sim.config import TestMemoryLayout
+
+# name -> critical cycle.  Comments give the conventional litmus name.
+_CYCLES: dict[str, list[str]] = {
+    # Two-thread classics.
+    "SB": ["PodWR", "Fre", "PodWR", "Fre"],                 # store buffering (allowed)
+    "SB+mfences": ["MFencedWR", "Fre", "MFencedWR", "Fre"],  # forbidden
+    "SB+mfence+po": ["MFencedWR", "Fre", "PodWR", "Fre"],    # allowed
+    "MP": ["PodWW", "Rfe", "PodRR", "Fre"],                  # message passing (forbidden)
+    "MP+mfence+po": ["MFencedWW", "Rfe", "PodRR", "Fre"],
+    "MP+mfences": ["MFencedWW", "Rfe", "MFencedRR", "Fre"],
+    "LB": ["PodRW", "Rfe", "PodRW", "Rfe"],                  # load buffering (forbidden)
+    "LB+mfences": ["MFencedRW", "Rfe", "MFencedRW", "Rfe"],
+    "S": ["PodWW", "Rfe", "PodRW", "Wse"],                   # forbidden
+    "S+mfences": ["MFencedWW", "Rfe", "MFencedRW", "Wse"],
+    "R": ["PodWW", "Wse", "PodWR", "Fre"],                   # allowed (W->R relaxed)
+    "R+mfences": ["MFencedWW", "Wse", "MFencedWR", "Fre"],   # forbidden
+    "2+2W": ["PodWW", "Wse", "PodWW", "Wse"],                # forbidden
+    "2+2W+mfences": ["MFencedWW", "Wse", "MFencedWW", "Wse"],
+    # Three-thread shapes.
+    "WRC": ["Rfe", "PodRW", "Rfe", "PodRR", "Fre"],          # write-to-read causality
+    "WRC+mfences": ["Rfe", "MFencedRW", "Rfe", "MFencedRR", "Fre"],
+    "RWC": ["Rfe", "PodRR", "Fre", "PodWR", "Fre"],          # allowed
+    "RWC+mfences": ["Rfe", "MFencedRR", "Fre", "MFencedWR", "Fre"],
+    "WWC": ["Rfe", "PodRW", "Wse", "PodWW", "Wse"],
+    "W+RWC": ["PodWW", "Rfe", "PodRR", "Fre", "PodWR", "Fre"],
+    "W+RWC+mfences": ["MFencedWW", "Rfe", "MFencedRR", "Fre", "MFencedWR", "Fre"],
+    "ISA2": ["PodWW", "Rfe", "PodRW", "Rfe", "PodRR", "Fre"],
+    "ISA2+mfences": ["MFencedWW", "Rfe", "MFencedRW", "Rfe", "MFencedRR", "Fre"],
+    "Z6.0": ["PodWW", "Rfe", "PodRW", "Wse", "PodWR", "Fre"],
+    "Z6.3": ["PodWR", "Fre", "PodWW", "Wse", "PodWR", "Fre"],
+    "Z6.3+mfences": ["MFencedWR", "Fre", "MFencedWW", "Wse", "MFencedWR", "Fre"],
+    "3.SB": ["PodWR", "Fre", "PodWR", "Fre", "PodWR", "Fre"],
+    "3.SB+mfences": ["MFencedWR", "Fre", "MFencedWR", "Fre", "MFencedWR", "Fre"],
+    "3.2W": ["PodWW", "Wse", "PodWW", "Wse", "PodWW", "Wse"],
+    "3.LB": ["PodRW", "Rfe", "PodRW", "Rfe", "PodRW", "Rfe"],
+    # Four-thread shapes.
+    "IRIW": ["Rfe", "PodRR", "Fre", "Rfe", "PodRR", "Fre"],
+    "IRIW+mfences": ["Rfe", "MFencedRR", "Fre", "Rfe", "MFencedRR", "Fre"],
+    "4.LB": ["PodRW", "Rfe", "PodRW", "Rfe", "PodRW", "Rfe", "PodRW", "Rfe"],
+    "4.SB": ["PodWR", "Fre", "PodWR", "Fre", "PodWR", "Fre", "PodWR", "Fre"],
+    # Coherence (same-address) shapes.
+    "CoRR": ["Rfe", "PosRR", "Fre"],
+    "CoWW": ["PosWW", "Wse"],
+    "CoRW1": ["PosRW", "Rfe"],
+    "CoWR": ["PosWR", "Fre", "Wse"],
+}
+
+
+def corpus_names() -> list[str]:
+    return sorted(_CYCLES)
+
+
+def x86_tso_corpus(memory: TestMemoryLayout | None = None) -> list[LitmusTest]:
+    """Generate the full 38-test corpus."""
+    layout = memory or TestMemoryLayout.kib(1)
+    tests = []
+    for name, cycle in sorted(_CYCLES.items()):
+        tests.append(generate_from_cycle(name, cycle, memory=layout))
+    return tests
+
+
+def litmus_by_name(name: str, memory: TestMemoryLayout | None = None) -> LitmusTest:
+    try:
+        cycle = _CYCLES[name]
+    except KeyError:
+        raise KeyError(f"unknown litmus test {name!r}; "
+                       f"available: {corpus_names()}") from None
+    return generate_from_cycle(name, cycle, memory=memory)

@@ -1,0 +1,228 @@
+"""diy-style litmus test generation from critical cycles.
+
+The diy tool (Alglave et al.) generates litmus tests by expanding a
+*critical cycle*: an alternation of program-order edges (possibly with
+fences, to the same or a different location) and external conflict-order
+edges (reads-from, from-reads, write serialisation).  Observing the cycle at
+run time is exactly the "interesting" (and, if every program-order edge is
+preserved by the model, forbidden) outcome.
+
+This module implements the cycle walk for the edge vocabulary needed by the
+x86-TSO corpus:
+
+=========  =======================  ====================================
+edge       event types (src, dst)   meaning
+=========  =======================  ====================================
+PodWR      (W, R)                   program order, different address
+PodWW      (W, W)                   program order, different address
+PodRW      (R, W)                   program order, different address
+PodRR      (R, R)                   program order, different address
+PosWR      (W, R)                   program order, same address
+PosRR      (R, R)                   program order, same address
+PosWW      (W, W)                   program order, same address
+MFencedWR  (W, R)                   program order + mfence (modelled as a
+                                     locked RMW, which on x86 implies a
+                                     full fence)
+MFencedWW  (W, W)                   program order + mfence
+MFencedRR  (R, R)                   program order + mfence
+MFencedRW  (R, W)                   program order + mfence
+Rfe        (W, R)                   reads-from, external (new thread)
+Fre        (R, W)                   from-read, external (new thread)
+Wse        (W, W)                   write serialisation, external
+=========  =======================  ====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.program import Chromosome, make_chromosome
+from repro.sim.config import TestMemoryLayout
+from repro.sim.testprogram import OpKind, TestOp
+
+_EDGE_TYPES: dict[str, tuple[str, str]] = {
+    "PodWR": ("W", "R"), "PodWW": ("W", "W"),
+    "PodRW": ("R", "W"), "PodRR": ("R", "R"),
+    "PosWR": ("W", "R"), "PosRR": ("R", "R"), "PosWW": ("W", "W"),
+    "PosRW": ("R", "W"),
+    "MFencedWR": ("W", "R"), "MFencedWW": ("W", "W"),
+    "MFencedRR": ("R", "R"), "MFencedRW": ("R", "W"),
+    "Rfe": ("W", "R"), "Fre": ("R", "W"), "Wse": ("W", "W"),
+}
+
+_EXTERNAL_EDGES = ("Rfe", "Fre", "Wse")
+_SAME_ADDRESS_PO = ("PosWR", "PosRR", "PosWW", "PosRW")
+_FENCED_PO = ("MFencedWR", "MFencedWW", "MFencedRR", "MFencedRW")
+
+
+@dataclass(frozen=True)
+class CycleEdge:
+    """One edge of a critical cycle."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _EDGE_TYPES:
+            raise ValueError(f"unknown cycle edge {self.name!r}")
+
+    @property
+    def src_type(self) -> str:
+        return _EDGE_TYPES[self.name][0]
+
+    @property
+    def dst_type(self) -> str:
+        return _EDGE_TYPES[self.name][1]
+
+    @property
+    def is_external(self) -> bool:
+        return self.name in _EXTERNAL_EDGES
+
+    @property
+    def is_program_order(self) -> bool:
+        return not self.is_external
+
+    @property
+    def same_address(self) -> bool:
+        return self.is_external or self.name in _SAME_ADDRESS_PO
+
+    @property
+    def fenced(self) -> bool:
+        return self.name in _FENCED_PO
+
+    @property
+    def relaxed_under_tso(self) -> bool:
+        """True if TSO does *not* preserve this program-order edge."""
+        return self.name == "PodWR"
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A generated litmus test."""
+
+    name: str
+    cycle: tuple[CycleEdge, ...]
+    chromosome: Chromosome
+    num_threads: int
+    num_addresses: int
+    forbidden_under_tso: bool
+    forbidden_under_sc: bool = True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        edges = " ".join(edge.name for edge in self.cycle)
+        status = "forbidden" if self.forbidden_under_tso else "allowed"
+        return f"{self.name}: {edges} ({status} under TSO)"
+
+
+@dataclass
+class _CycleEvent:
+    kind: str
+    thread: int
+    address_index: int
+    fence_before: bool = False
+
+
+def _validate_cycle(edges: list[CycleEdge]) -> None:
+    if len(edges) < 2:
+        raise ValueError("a critical cycle needs at least two edges")
+    if not any(edge.is_external for edge in edges):
+        raise ValueError("a critical cycle needs at least one external edge")
+    for index, edge in enumerate(edges):
+        previous = edges[index - 1]
+        if previous.dst_type != edge.src_type:
+            raise ValueError(
+                f"cycle is not well-typed: {previous.name} ends in "
+                f"{previous.dst_type} but {edge.name} starts with {edge.src_type}")
+
+
+def _walk_cycle(edges: list[CycleEdge]) -> tuple[list[_CycleEvent], int, int]:
+    """Assign threads and address indices to the cycle's events."""
+    num_addresses = sum(1 for edge in edges if edge.is_program_order
+                        and not edge.same_address)
+    if num_addresses == 0:
+        num_addresses = 1
+    events: list[_CycleEvent] = []
+    thread = 0
+    address = 0
+    # Event i is the source of edge i; the destination of the last edge wraps
+    # to event 0 (the cycle closes).
+    for index, edge in enumerate(edges):
+        events.append(_CycleEvent(kind=edge.src_type, thread=thread,
+                                  address_index=address))
+        if edge.is_external:
+            thread += 1
+        elif not edge.same_address:
+            address = (address + 1) % num_addresses
+        if edge.fenced:
+            # The fence sits between this event and the next one.
+            pass
+    # Mark fences: the destination event of a fenced po edge is preceded by a
+    # fence in its thread's program.
+    for index, edge in enumerate(edges):
+        if edge.fenced:
+            destination = (index + 1) % len(edges)
+            if destination != 0:
+                events[destination].fence_before = True
+            else:
+                events[0].fence_before = True
+    num_threads = thread if any(edge.is_external for edge in edges) else 1
+    return events, num_threads, num_addresses
+
+
+def _rotate_to_external_last(edges: list[CycleEdge]) -> list[CycleEdge]:
+    """Rotate the cycle so that the last edge is an external (thread) edge.
+
+    diy starts each thread at the destination of an external edge; rotating
+    the specification accordingly lets the walk assign threads correctly for
+    cycles written with the external edge in any position.
+    """
+    for offset in range(len(edges)):
+        rotated = edges[offset:] + edges[:offset]
+        if rotated[-1].is_external:
+            return rotated
+    return edges
+
+
+def generate_from_cycle(name: str, edge_names: list[str],
+                        memory: TestMemoryLayout | None = None) -> LitmusTest:
+    """Expand a critical cycle into a runnable litmus test."""
+    edges = [CycleEdge(edge_name) for edge_name in edge_names]
+    _validate_cycle(edges)
+    edges = _rotate_to_external_last(edges)
+    events, num_threads, num_addresses = _walk_cycle(edges)
+    if num_threads < 1:
+        raise ValueError("cycle produced no threads")
+    layout = memory or TestMemoryLayout.kib(1)
+    if num_addresses > layout.num_slots:
+        raise ValueError("cycle needs more addresses than the layout provides")
+    addresses = [layout.slot_address(index * 4 % layout.num_slots)
+                 for index in range(num_addresses)]
+    scratch_address = layout.slot_address(layout.num_slots - 1)
+
+    # Build the flat (pid, op) slot list: threads in order, each thread's
+    # events in cycle-walk order (their program order).
+    slots: list[tuple[int, TestOp]] = []
+    slot_index = 0
+    for pid in range(num_threads):
+        thread_events = [event for event in events if event.thread == pid]
+        for event in thread_events:
+            if event.fence_before:
+                # mfence modelled as a locked RMW on a scratch location.
+                slots.append((pid, TestOp(op_id=slot_index, kind=OpKind.RMW,
+                                          address=scratch_address,
+                                          value=slot_index + 1)))
+                slot_index += 1
+            address = addresses[event.address_index]
+            if event.kind == "W":
+                op = TestOp(op_id=slot_index, kind=OpKind.WRITE,
+                            address=address, value=slot_index + 1)
+            else:
+                op = TestOp(op_id=slot_index, kind=OpKind.READ, address=address)
+            slots.append((pid, op))
+            slot_index += 1
+
+    chromosome = make_chromosome(slots, num_threads)
+    forbidden_tso = not any(edge.is_program_order and edge.relaxed_under_tso
+                            for edge in edges)
+    return LitmusTest(name=name, cycle=tuple(edges), chromosome=chromosome,
+                      num_threads=num_threads, num_addresses=num_addresses,
+                      forbidden_under_tso=forbidden_tso)

@@ -1,0 +1,77 @@
+"""Litmus campaign runner (the diy-litmus baseline of the evaluation).
+
+The paper runs all 38 diy-generated x86-TSO litmus tests in an outer loop
+until the time limit expires or a violation is detected (§5.2.2).  Here each
+litmus test execution goes through the same verification engine as GP tests
+(every execution is checked against the axiomatic model, so the tests are
+effectively self-checking), and one litmus test-run counts as one
+evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.engine import VerificationEngine
+from repro.litmus.corpus import x86_tso_corpus
+from repro.litmus.diy import LitmusTest
+
+
+@dataclass
+class LitmusCampaignResult:
+    """Outcome of running the litmus corpus until a bug was found or budget ran out."""
+
+    found: bool
+    evaluations: int
+    evaluations_to_find: int | None
+    wall_seconds: float
+    failing_test: str | None = None
+    detail: list[str] = field(default_factory=list)
+    rounds_completed: int = 0
+
+
+class LitmusRunner:
+    """Cycles through the litmus corpus on a verification engine."""
+
+    def __init__(self, engine: VerificationEngine,
+                 corpus: list[LitmusTest] | None = None) -> None:
+        self.engine = engine
+        self.corpus = corpus if corpus is not None else x86_tso_corpus(
+            engine.generator_config.memory)
+        usable = [test for test in self.corpus
+                  if test.num_threads <= engine.system_config.num_cores]
+        self.corpus = usable
+        if not self.corpus:
+            raise ValueError("no litmus tests fit the configured core count")
+
+    def run(self, max_evaluations: int,
+            time_limit_seconds: float | None = None) -> LitmusCampaignResult:
+        started = time.perf_counter()
+        evaluations = 0
+        rounds = 0
+        while evaluations < max_evaluations:
+            rounds += 1
+            for test in self.corpus:
+                if evaluations >= max_evaluations:
+                    break
+                if (time_limit_seconds is not None
+                        and time.perf_counter() - started > time_limit_seconds):
+                    return LitmusCampaignResult(
+                        found=False, evaluations=evaluations,
+                        evaluations_to_find=None,
+                        wall_seconds=time.perf_counter() - started,
+                        rounds_completed=rounds - 1)
+                evaluations += 1
+                result = self.engine.run_test(test.chromosome)
+                if result.bug_found:
+                    return LitmusCampaignResult(
+                        found=True, evaluations=evaluations,
+                        evaluations_to_find=evaluations,
+                        wall_seconds=time.perf_counter() - started,
+                        failing_test=test.name, detail=result.violations,
+                        rounds_completed=rounds)
+        return LitmusCampaignResult(found=False, evaluations=evaluations,
+                                    evaluations_to_find=None,
+                                    wall_seconds=time.perf_counter() - started,
+                                    rounds_completed=rounds)

@@ -1,0 +1,34 @@
+"""Multicore memory-system simulator substrate.
+
+This package is the substitute for the paper's gem5+Ruby full-system
+environment.  It provides an event-driven, functionally accurate multicore
+memory system: out-of-order cores with load/store queues, private L1 caches
+kept coherent by either a directory-based MESI protocol or a simplified
+TSO-CC protocol, a shared L2/directory, a latency-randomised interconnect
+and a main memory.  Stale data affects loaded values, conflict orders
+(rf/co) are observed during execution, and protocol transitions are recorded
+as structural coverage.
+"""
+
+from repro.sim.config import CacheConfig, SystemConfig, TestMemoryLayout
+from repro.sim.coverage import CoverageCollector, TransitionKey
+from repro.sim.faults import Fault, FaultSet, ProtocolError, ALL_FAULTS
+from repro.sim.system import System, IterationResult
+from repro.sim.testprogram import OpKind, TestOp, TestThread
+
+__all__ = [
+    "CacheConfig",
+    "SystemConfig",
+    "TestMemoryLayout",
+    "CoverageCollector",
+    "TransitionKey",
+    "Fault",
+    "FaultSet",
+    "ProtocolError",
+    "ALL_FAULTS",
+    "System",
+    "IterationResult",
+    "OpKind",
+    "TestOp",
+    "TestThread",
+]

@@ -1,0 +1,30 @@
+"""Cache coherence protocols.
+
+Two protocols are provided, mirroring the paper's case studies:
+
+* :mod:`repro.sim.coherence.mesi_l1` / :mod:`repro.sim.coherence.mesi_l2` -
+  a blocking-directory MESI protocol with the transient states involved in
+  the studied bugs (IS, SM, owner recalls, replacements, PutM races).
+* :mod:`repro.sim.coherence.tso_cc` - a simplified TSO-CC protocol
+  (consistency-directed lazy coherence): write-through serialisation at the
+  shared L2, per-writer timestamp groups, reader-side last-seen tables,
+  self-invalidation and epoch-ids.
+
+Both record every (state, event) transition into a
+:class:`repro.sim.coverage.CoverageCollector` - the structural coverage the
+GP fitness function consumes.
+"""
+
+from repro.sim.coherence.base import CoherenceController, InvalidationReason
+from repro.sim.coherence.mesi_l1 import MesiL1Cache
+from repro.sim.coherence.mesi_l2 import MesiDirectory
+from repro.sim.coherence.tso_cc import TsoCcL1Cache, TsoCcDirectory
+
+__all__ = [
+    "CoherenceController",
+    "InvalidationReason",
+    "MesiL1Cache",
+    "MesiDirectory",
+    "TsoCcL1Cache",
+    "TsoCcDirectory",
+]

@@ -1,0 +1,63 @@
+"""Shared infrastructure for coherence controllers."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable
+
+from repro.sim.coverage import CoverageCollector
+from repro.sim.faults import FaultSet, ProtocolError
+from repro.sim.interconnect import Interconnect, Message
+from repro.sim.kernel import SimKernel
+
+
+class InvalidationReason(Enum):
+    """Why the L1 notified the load queue that a line went away."""
+
+    INVALIDATION = "invalidation"          # external invalidation / recall
+    REPLACEMENT = "replacement"            # local capacity/conflict eviction
+    SELF_INVALIDATION = "self_invalidation"  # TSO-CC self-invalidation
+    FLUSH = "flush"                        # explicit cache flush (clflush)
+    FENCE = "fence"                        # RMW / fence induced invalidation
+
+
+# Signature of the callback the L1 uses to tell the core's load queue that a
+# cache line was invalidated/evicted: (line_address, reason).
+InvalidationListener = Callable[[int, InvalidationReason], None]
+
+
+class CoherenceController:
+    """Base class: message plumbing, coverage recording, error reporting."""
+
+    controller_kind = "controller"
+
+    def __init__(self, name: str, kernel: SimKernel, network: Interconnect,
+                 coverage: CoverageCollector, faults: FaultSet) -> None:
+        self.name = name
+        self.kernel = kernel
+        self.network = network
+        self.coverage = coverage
+        self.faults = faults
+        network.register(name, self.handle_message)
+
+    # -- coverage / errors -------------------------------------------------
+
+    def record_transition(self, state: str, event: str) -> None:
+        self.coverage.record(self.controller_kind, state, event)
+
+    def invalid_transition(self, state: str, event: str, detail: str = "") -> None:
+        raise ProtocolError(self.controller_kind, state, event, detail)
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(self, kind: str, dst: str, line_address: int,
+             extra_latency: int = 0, **payload: object) -> None:
+        message = Message(kind=kind, src=self.name, dst=dst,
+                          line_address=line_address, payload=dict(payload))
+        self.network.send(message, extra_latency=extra_latency)
+
+    def handle_message(self, message: Message) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def quiescent(self) -> bool:  # pragma: no cover
+        raise NotImplementedError

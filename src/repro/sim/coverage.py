@@ -1,0 +1,91 @@
+"""Structural coverage of coherence-protocol transitions (paper §3.2).
+
+Coverage is recorded as ``(controller_kind, state, event)`` triples.  As in
+the paper, identical controllers (e.g. the per-core L1s) are not
+distinguished: their transitions are summed under one controller kind.  The
+collector keeps both global counts (since simulation start) and the set of
+transitions covered by the current test-run, which is what the adaptive
+fitness function consumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, order=True)
+class TransitionKey:
+    """One protocol transition: controller kind x state x triggering event."""
+
+    controller: str
+    state: str
+    event: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.controller}:{self.state}--{self.event}"
+
+
+class CoverageCollector:
+    """Accumulates protocol-transition coverage.
+
+    ``record`` is called by the coherence controllers on every transition.
+    The engine calls :meth:`begin_run` before a test-run and reads
+    :meth:`run_transitions` afterwards.
+    """
+
+    def __init__(self) -> None:
+        self.global_counts: Counter[TransitionKey] = Counter()
+        self._run_transitions: set[TransitionKey] = set()
+        self._known: set[TransitionKey] = set()
+
+    def declare(self, transitions: Iterable[TransitionKey]) -> None:
+        """Declare transitions that exist in the protocol specification.
+
+        Declaring the full transition space lets total coverage be reported
+        as a fraction (Table 6) even for transitions never exercised.
+        """
+        self._known.update(transitions)
+
+    def record(self, controller: str, state: str, event: str) -> TransitionKey:
+        key = TransitionKey(controller, state, event)
+        self.global_counts[key] += 1
+        self._run_transitions.add(key)
+        self._known.add(key)
+        return key
+
+    def begin_run(self) -> None:
+        """Reset the per-test-run transition set (global counts persist)."""
+        self._run_transitions = set()
+
+    def run_transitions(self) -> frozenset[TransitionKey]:
+        return frozenset(self._run_transitions)
+
+    @property
+    def known_transitions(self) -> frozenset[TransitionKey]:
+        return frozenset(self._known)
+
+    @property
+    def covered_transitions(self) -> frozenset[TransitionKey]:
+        return frozenset(self.global_counts)
+
+    def total_coverage(self) -> float:
+        """Fraction of known transitions covered at least once (Table 6)."""
+        if not self._known:
+            return 0.0
+        return len(self.global_counts) / len(self._known)
+
+    def rare_transitions(self, cutoff: int) -> frozenset[TransitionKey]:
+        """Transitions whose global count is below ``cutoff`` (plus unseen).
+
+        This is the transition set the adaptive fitness function focuses on
+        (paper §3.2: frequent transitions are excluded from coverage).
+        """
+        rare = {key for key in self._known if self.global_counts[key] < cutoff}
+        return frozenset(rare)
+
+    def merge(self, other: "CoverageCollector") -> None:
+        """Fold another collector's observations into this one."""
+        self.global_counts.update(other.global_counts)
+        self._known.update(other._known)

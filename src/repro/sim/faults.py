@@ -1,0 +1,122 @@
+"""Fault (bug) injection for the 11 studied bugs (paper §5.3).
+
+Each fault is a named switch consulted by the coherence-protocol and
+pipeline code at the exact code path the paper describes.  A ``FaultSet``
+holds the set of active faults for a simulated system; the default is an
+empty set (correct system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ProtocolError(RuntimeError):
+    """Raised by a coherence controller on an invalid (state, event) pair.
+
+    The paper's MESI+PUTX-Race bug does not manifest as an MCM violation but
+    is caught by Ruby as an invalid transition; this exception plays the
+    same role and is treated by the campaign runner as a found bug.
+    """
+
+    def __init__(self, controller: str, state: str, event: str,
+                 detail: str = "") -> None:
+        message = f"invalid transition in {controller}: ({state}, {event})"
+        if detail:
+            message += f" - {detail}"
+        super().__init__(message)
+        self.controller = controller
+        self.state = state
+        self.event = event
+
+
+class Fault(Enum):
+    """The 11 studied bugs.  Names follow paper §5.3."""
+
+    MESI_LQ_IS_INV = "MESI,LQ+IS,Inv"
+    MESI_LQ_SM_INV = "MESI,LQ+SM,Inv"
+    MESI_LQ_E_INV = "MESI,LQ+E,Inv"
+    MESI_LQ_M_INV = "MESI,LQ+M,Inv"
+    MESI_LQ_S_REPLACEMENT = "MESI,LQ+S,Replacement"
+    MESI_PUTX_RACE = "MESI+PUTX-Race"
+    MESI_REPLACE_RACE = "MESI+Replace-Race"
+    TSOCC_NO_EPOCH_IDS = "TSO-CC+no-epoch-ids"
+    TSOCC_COMPARE = "TSO-CC+compare"
+    LQ_NO_TSO = "LQ+no-TSO"
+    SQ_NO_FIFO = "SQ+no-FIFO"
+
+    @property
+    def paper_name(self) -> str:
+        return self.value
+
+    @property
+    def protocol(self) -> str:
+        """Coherence protocol this fault applies to ("MESI", "TSO_CC", "ANY")."""
+        if self.name.startswith("MESI"):
+            return "MESI"
+        if self.name.startswith("TSOCC"):
+            return "TSO_CC"
+        return "ANY"
+
+    @property
+    def is_real_gem5_bug(self) -> bool:
+        """Bugs marked '*' in the paper (real bugs found in gem5)."""
+        return self in (Fault.MESI_LQ_IS_INV, Fault.MESI_LQ_SM_INV,
+                        Fault.MESI_PUTX_RACE, Fault.LQ_NO_TSO)
+
+    @property
+    def needs_evictions(self) -> bool:
+        """Bugs only reachable with a large (8KB) test memory in the paper."""
+        return self in (Fault.MESI_LQ_S_REPLACEMENT, Fault.MESI_PUTX_RACE,
+                        Fault.MESI_REPLACE_RACE)
+
+
+ALL_FAULTS: tuple[Fault, ...] = tuple(Fault)
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """Immutable set of active faults for one simulated system."""
+
+    active: frozenset[Fault] = frozenset()
+
+    @classmethod
+    def none(cls) -> "FaultSet":
+        return cls(frozenset())
+
+    @classmethod
+    def of(cls, *faults: Fault) -> "FaultSet":
+        return cls(frozenset(faults))
+
+    def enabled(self, fault: Fault) -> bool:
+        return fault in self.active
+
+    def __contains__(self, fault: Fault) -> bool:
+        return fault in self.active
+
+    def __iter__(self):
+        return iter(sorted(self.active, key=lambda f: f.name))
+
+    def __len__(self) -> int:
+        return len(self.active)
+
+    def compatible_protocol(self) -> str | None:
+        """Return the protocol required by the active faults, if any.
+
+        Raises ``ValueError`` when faults of two different protocols are
+        combined (that combination is meaningless).
+        """
+        protocols = {fault.protocol for fault in self.active} - {"ANY"}
+        if len(protocols) > 1:
+            raise ValueError(
+                f"faults require conflicting protocols: {sorted(protocols)}")
+        return protocols.pop() if protocols else None
+
+
+def fault_by_paper_name(name: str) -> Fault:
+    """Look up a fault by its paper name (e.g. ``"MESI,LQ+IS,Inv"``)."""
+    for fault in Fault:
+        if fault.value == name:
+            return fault
+    raise KeyError(f"unknown fault {name!r}")

@@ -1,0 +1,114 @@
+"""Discrete-event simulation kernel.
+
+The kernel maintains a priority queue of timestamped events.  Components
+schedule callables at future ticks; the kernel executes them in
+(time, sequence) order so that execution is fully deterministic for a given
+seed.  Non-determinism between test iterations comes exclusively from the
+seeded random number generator used to perturb latencies, mirroring the way
+consecutive test executions in a continuously running full-system simulation
+are perturbed differently (paper §5.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class SimulationLimitError(RuntimeError):
+    """Raised when a simulation exceeds its maximum tick or event budget."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimKernel.schedule`, allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class SimKernel:
+    """Event-driven simulation kernel with a deterministic seeded RNG."""
+
+    def __init__(self, seed: int = 0, max_ticks: int = 50_000_000,
+                 max_events: int = 20_000_000) -> None:
+        self.rng = random.Random(seed)
+        self.now = 0
+        self.max_ticks = max_ticks
+        self.max_events = max_events
+        self._queue: list[_ScheduledEvent] = []
+        self._seq = 0
+        self._events_executed = 0
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* to run ``delay`` ticks from now (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        event = _ScheduledEvent(self.now + int(delay), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> EventHandle:
+        """Schedule *callback* at an absolute tick (must not be in the past)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.schedule(time - self.now, callback)
+
+    def jitter(self, low: int, high: int) -> int:
+        """Return a random latency in ``[low, high]`` from the kernel RNG."""
+        if low > high:
+            raise ValueError(f"invalid jitter range [{low}, {high}]")
+        return self.rng.randint(low, high)
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def run(self, until: Callable[[], bool] | None = None) -> int:
+        """Run until the queue drains or *until* returns true.
+
+        Returns the tick at which the run stopped.  Raises
+        :class:`SimulationLimitError` if the tick or event budget is
+        exceeded, which normally indicates a deadlock/livelock in the
+        simulated system (itself a reportable verification outcome).
+        """
+        while self._queue:
+            if until is not None and until():
+                break
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_executed += 1
+            if self.now > self.max_ticks:
+                raise SimulationLimitError(
+                    f"simulation exceeded {self.max_ticks} ticks "
+                    "(possible deadlock)")
+            if self._events_executed > self.max_events:
+                raise SimulationLimitError(
+                    f"simulation exceeded {self.max_events} events "
+                    "(possible livelock)")
+            event.callback()
+        return self.now
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed

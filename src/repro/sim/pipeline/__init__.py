@@ -1,0 +1,6 @@
+"""Out-of-order core model with a TSO load/store queue."""
+
+from repro.sim.pipeline.core import CoreEngine
+from repro.sim.pipeline.lsq import LoadQueueRule, StoreBuffer
+
+__all__ = ["CoreEngine", "LoadQueueRule", "StoreBuffer"]

@@ -1,0 +1,261 @@
+"""Out-of-order core model executing one test thread.
+
+The model captures exactly the microarchitectural behaviour the paper's
+bugs depend on, nothing more:
+
+* a ROB-limited instruction window with in-order commit;
+* loads that may *perform* speculatively out of program order, combined
+  with the TSO load-queue squash rule applied on invalidation notifications
+  from the L1 (see :class:`repro.sim.pipeline.lsq.LoadQueueRule`);
+* store->load forwarding from older, not yet globally visible stores;
+* a FIFO store buffer draining committed stores one at a time (TSO), with
+  the SQ+no-FIFO bug draining out of order;
+* read-modify-writes acting as atomic operations and full fences (as on
+  x86, where locked RMWs imply mfence);
+* cache flushes and constant delays.
+
+Timing is approximate (issue width, hit/miss latencies, random perturbation
+come from the memory system); functional behaviour - which value every load
+observes - is exact.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.sim.coherence.base import InvalidationReason
+from repro.sim.config import SystemConfig
+from repro.sim.faults import FaultSet
+from repro.sim.kernel import SimKernel
+from repro.sim.pipeline.lsq import LoadQueueRule, RobEntry, StoreBuffer, StoreBufferEntry
+from repro.sim.testprogram import OpKind, TestOp, TestThread
+from repro.sim.trace import ExecutionTrace
+
+_COMMIT_WIDTH = 4
+_IDLE_TICK = 25
+
+
+class CoreEngine:
+    """Drives one test thread through the memory system."""
+
+    def __init__(self, core_id: int, kernel: SimKernel, l1: object,
+                 thread: TestThread, trace: ExecutionTrace,
+                 config: SystemConfig, faults: FaultSet,
+                 rng: random.Random, start_tick: int = 0) -> None:
+        self.core_id = core_id
+        self.kernel = kernel
+        self.l1 = l1
+        self.thread = thread
+        self.trace = trace
+        self.config = config
+        self.faults = faults
+        self.rng = rng
+        self.start_tick = start_tick
+        self.rob: list[RobEntry] = []
+        self.store_buffer = StoreBuffer(config.lsq_entries, faults, rng)
+        self.lq_rule = LoadQueueRule(faults)
+        self.next_op_index = 0
+        self.loads_issued = 0
+        self.loads_squashed = 0
+        self._tick_scheduled = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return (self._started and self.next_op_index >= len(self.thread.ops)
+                and not self.rob and self.store_buffer.empty)
+
+    def start(self) -> None:
+        self._started = True
+        if not self.thread.ops:
+            return
+        self.kernel.schedule_at(max(self.start_tick, self.kernel.now),
+                                self._tick)
+        self._tick_scheduled = True
+
+    def _wake(self) -> None:
+        if not self._tick_scheduled and not self.done:
+            self._tick_scheduled = True
+            self.kernel.schedule(1, self._tick)
+
+    # ------------------------------------------------------------------
+    # Invalidation notifications from the L1 (the LQ squash rule)
+    # ------------------------------------------------------------------
+
+    def on_invalidation(self, line_address: int,
+                        reason: InvalidationReason) -> None:
+        squashed = self.lq_rule.apply(self.rob)
+        for entry in squashed:
+            entry.performed = False
+            entry.value = None
+            entry.generation += 1
+            entry.request_outstanding = False
+            self.loads_squashed += 1
+        if squashed:
+            self._wake()
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        progress = False
+        progress |= self._issue_stage()
+        progress |= self._execute_stage()
+        progress |= self._commit_stage()
+        progress |= self._drain_stage()
+        if self.done:
+            return
+        delay = 1 if progress or self._issue_possible() else _IDLE_TICK
+        self._tick_scheduled = True
+        self.kernel.schedule(delay, self._tick)
+
+    def _issue_possible(self) -> bool:
+        return (self.next_op_index < len(self.thread.ops)
+                and len(self.rob) < self.config.rob_entries)
+
+    def _issue_stage(self) -> bool:
+        issued = 0
+        while issued < self.config.issue_width and self._issue_possible():
+            op = self.thread.ops[self.next_op_index]
+            entry = RobEntry(op=op, delay_remaining=op.delay)
+            self.rob.append(entry)
+            self.next_op_index += 1
+            issued += 1
+        return issued > 0
+
+    def _execute_stage(self) -> bool:
+        progress = False
+        for index, entry in enumerate(self.rob):
+            if entry.op.kind.is_load:
+                if entry.performed or entry.committed or entry.request_outstanding:
+                    continue
+                if not self._load_may_execute(index, entry):
+                    continue
+                progress |= self._execute_load(entry, index)
+            elif entry.op.kind is OpKind.RMW:
+                progress |= self._maybe_start_rmw(index, entry)
+        return progress
+
+    def _load_may_execute(self, index: int, entry: RobEntry) -> bool:
+        for older in self.rob[:index]:
+            if older.op.kind is OpKind.RMW and not older.committed:
+                return False  # locked RMW acts as a fence
+        if entry.op.kind is OpKind.READ_ADDR_DP:
+            for older in self.rob[:index]:
+                if older.op.kind.is_load and not older.performed:
+                    return False  # address dependency on older reads
+        return True
+
+    def _execute_load(self, entry: RobEntry, index: int) -> bool:
+        address = entry.op.address
+        assert address is not None
+        forwarded = self._forwarded_value(index, address)
+        if forwarded is not None:
+            entry.performed = True
+            entry.value = forwarded
+            return True
+        entry.request_outstanding = True
+        generation = entry.generation
+        self.loads_issued += 1
+
+        def on_value(value: int, entry: RobEntry = entry,
+                     generation: int = generation) -> None:
+            if entry.committed or entry.generation != generation:
+                return  # stale response for a squashed/retried load
+            entry.request_outstanding = False
+            entry.performed = True
+            entry.value = value
+            self._wake()
+
+        self.l1.load(address, on_value)
+        return True
+
+    def _forwarded_value(self, index: int, address: int) -> int | None:
+        """TSO store->load forwarding from older, not yet visible stores."""
+        for older in reversed(self.rob[:index]):
+            if older.op.kind.writes_memory and older.op.address == address:
+                return older.op.value
+        return self.store_buffer.forward_value(address)
+
+    def _maybe_start_rmw(self, index: int, entry: RobEntry) -> bool:
+        if entry.rmw_started or entry.performed or index != 0:
+            return False
+        if not self.store_buffer.empty:
+            return False  # fence: drain the store buffer first
+        entry.rmw_started = True
+        address = entry.op.address
+        assert address is not None
+
+        def on_done(read_value: int, overwritten: int,
+                    entry: RobEntry = entry) -> None:
+            entry.performed = True
+            entry.value = read_value
+            entry.overwritten = overwritten
+            self._wake()
+
+        self.l1.rmw(address, entry.op.value, on_done)
+        return True
+
+    def _commit_stage(self) -> bool:
+        committed = 0
+        while self.rob and committed < _COMMIT_WIDTH:
+            head = self.rob[0]
+            kind = head.op.kind
+            if kind.is_load:
+                if not head.performed:
+                    break
+                assert head.value is not None and head.op.address is not None
+                self.trace.record_read(head.op.op_id, self.core_id,
+                                       head.op.address, head.value)
+            elif kind is OpKind.WRITE or kind is OpKind.CACHE_FLUSH:
+                if self.store_buffer.full:
+                    break
+                self.store_buffer.push(head.op)
+            elif kind is OpKind.RMW:
+                if not head.performed:
+                    break
+                assert (head.value is not None and head.overwritten is not None
+                        and head.op.address is not None)
+                self.trace.record_rmw(head.op.op_id, self.core_id,
+                                      head.op.address, head.value,
+                                      head.op.value, head.overwritten)
+            elif kind is OpKind.DELAY:
+                if head.delay_remaining > 0:
+                    head.delay_remaining -= 1
+                    committed += 1
+                    break
+            head.committed = True
+            self.rob.pop(0)
+            committed += 1
+        return committed > 0
+
+    def _drain_stage(self) -> bool:
+        entry = self.store_buffer.next_to_drain()
+        if entry is None:
+            return False
+        entry.draining = True
+        op = entry.op
+        assert op.address is not None
+        if op.kind is OpKind.WRITE:
+
+            def on_written(overwritten: int, entry: StoreBufferEntry = entry,
+                           op: TestOp = op) -> None:
+                self.trace.record_write(op.op_id, self.core_id, op.address,
+                                        op.value, overwritten)
+                self.store_buffer.complete(entry)
+                self._wake()
+
+            self.l1.store(op.address, op.value, on_written)
+        else:  # cache flush
+
+            def on_flushed(entry: StoreBufferEntry = entry) -> None:
+                self.store_buffer.complete(entry)
+                self._wake()
+
+            self.l1.flush(op.address, on_flushed)
+        return True

@@ -1,0 +1,87 @@
+"""Executable test representation consumed by the simulator.
+
+The GP layer (:mod:`repro.core`) manipulates richer chromosome objects; what
+the simulated cores execute is this minimal, ISA-neutral form: per-thread
+lists of :class:`TestOp`, mirroring the paper's operation classes (Table 3):
+Read, ReadAddrDp, Write, ReadModifyWrite, CacheFlush and Delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class OpKind(Enum):
+    """Operation classes of paper Table 3."""
+
+    READ = "read"
+    READ_ADDR_DP = "read_addr_dp"
+    WRITE = "write"
+    RMW = "rmw"
+    CACHE_FLUSH = "cache_flush"
+    DELAY = "delay"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpKind.READ, OpKind.READ_ADDR_DP, OpKind.WRITE,
+                        OpKind.RMW, OpKind.CACHE_FLUSH)
+
+    @property
+    def is_load(self) -> bool:
+        return self in (OpKind.READ, OpKind.READ_ADDR_DP)
+
+    @property
+    def writes_memory(self) -> bool:
+        return self in (OpKind.WRITE, OpKind.RMW)
+
+
+@dataclass(frozen=True)
+class TestOp:
+    """One executable operation of a test thread."""
+
+    op_id: int                 # global slot index; doubles as the event id
+    kind: OpKind
+    address: int | None = None
+    value: int = 0             # unique write id for WRITE / RMW
+    delay: int = 0             # cycles for DELAY
+
+    def __post_init__(self) -> None:
+        if self.kind.is_memory and self.address is None:
+            raise ValueError(f"{self.kind} requires an address")
+        if self.kind.writes_memory and self.value <= 0:
+            raise ValueError(f"{self.kind} requires a positive unique value")
+        if self.kind is OpKind.DELAY and self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class TestThread:
+    """The program-ordered operation sequence of one simulated thread."""
+
+    pid: int
+    ops: tuple[TestOp, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def memory_ops(self) -> tuple[TestOp, ...]:
+        return tuple(op for op in self.ops if op.kind.is_memory)
+
+
+def threads_from_slots(slots: list[tuple[int, TestOp]],
+                       num_threads: int) -> list[TestThread]:
+    """Split a flat ``(pid, op)`` slot list into per-thread programs.
+
+    This mirrors the paper's flat-list chromosome representation (§3.3): the
+    order of slots gives the code sequence; per-thread program order is the
+    subsequence belonging to each pid.
+    """
+    per_thread: dict[int, list[TestOp]] = {pid: [] for pid in range(num_threads)}
+    for pid, op in slots:
+        if pid not in per_thread:
+            raise ValueError(f"pid {pid} out of range [0, {num_threads})")
+        per_thread[pid].append(op)
+    return [TestThread(pid=pid, ops=tuple(ops))
+            for pid, ops in sorted(per_thread.items())]

@@ -1,0 +1,85 @@
+"""Observation of conflict orders during execution (paper §4.1).
+
+Because we are in simulation (pre-silicon), all conflict orders are visible:
+every committed read records which write produced its value (rf), and every
+write serialisation records which value it overwrote (co).  Values are the
+globally unique write identifiers assigned at test construction time, so the
+mapping from an observed value back to the producing write event is exact.
+Value ``0`` denotes the initial value of memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One committed read: which value (write id) it observed."""
+
+    op_id: int
+    pid: int
+    address: int
+    value: int
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """One serialised write: its value and the value it overwrote."""
+
+    op_id: int
+    pid: int
+    address: int
+    value: int
+    overwritten: int
+
+
+@dataclass(frozen=True)
+class RmwRecord:
+    """One atomic read-modify-write (maps to a read and a write event)."""
+
+    op_id: int
+    pid: int
+    address: int
+    read_value: int
+    written_value: int
+    overwritten: int
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything observed during one test iteration."""
+
+    reads: list[ReadRecord] = field(default_factory=list)
+    writes: list[WriteRecord] = field(default_factory=list)
+    rmws: list[RmwRecord] = field(default_factory=list)
+    commit_order: dict[int, list[int]] = field(default_factory=dict)
+
+    def record_read(self, op_id: int, pid: int, address: int, value: int) -> None:
+        self.reads.append(ReadRecord(op_id, pid, address, value))
+        self.commit_order.setdefault(pid, []).append(op_id)
+
+    def record_write(self, op_id: int, pid: int, address: int, value: int,
+                     overwritten: int) -> None:
+        self.writes.append(WriteRecord(op_id, pid, address, value, overwritten))
+
+    def record_commit(self, op_id: int, pid: int) -> None:
+        """Record the commit of a non-read operation (for program order)."""
+        self.commit_order.setdefault(pid, []).append(op_id)
+
+    def record_rmw(self, op_id: int, pid: int, address: int, read_value: int,
+                   written_value: int, overwritten: int) -> None:
+        self.rmws.append(RmwRecord(op_id, pid, address, read_value,
+                                   written_value, overwritten))
+        self.commit_order.setdefault(pid, []).append(op_id)
+
+    @property
+    def num_events(self) -> int:
+        """Total memory events (RMWs count as two: a read and a write)."""
+        return len(self.reads) + len(self.writes) + 2 * len(self.rmws)
+
+    def observed_value_sources(self) -> set[int]:
+        """The set of write values observed by reads (0 = initial value)."""
+        sources = {read.value for read in self.reads}
+        sources.update(rmw.read_value for rmw in self.rmws)
+        return sources

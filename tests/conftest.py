@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import GeneratorConfig
+from repro.core.generator import RandomTestGenerator
+from repro.sim.config import SystemConfig, TestMemoryLayout
+from repro.sim.coverage import CoverageCollector
+
+
+@pytest.fixture
+def layout_1k() -> TestMemoryLayout:
+    return TestMemoryLayout.kib(1)
+
+
+@pytest.fixture
+def layout_8k() -> TestMemoryLayout:
+    return TestMemoryLayout.kib(8)
+
+
+@pytest.fixture
+def quick_config() -> GeneratorConfig:
+    return GeneratorConfig.quick(memory_kib=1, test_size=48, iterations=3)
+
+
+@pytest.fixture
+def system_config() -> SystemConfig:
+    return SystemConfig()
+
+
+@pytest.fixture
+def two_core_config() -> SystemConfig:
+    return SystemConfig(num_cores=2)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def generator(quick_config, rng) -> RandomTestGenerator:
+    return RandomTestGenerator(quick_config, rng)
+
+
+@pytest.fixture
+def coverage() -> CoverageCollector:
+    return CoverageCollector()

@@ -1,0 +1,211 @@
+"""Unit tests for candidate executions, memory models and the checker.
+
+These tests build executions directly from hand-written traces so that the
+checker's verdicts can be compared against the textbook verdicts for the
+classic litmus shapes (MP, SB, LB, coherence tests).
+"""
+
+import pytest
+
+from repro.consistency.checker import Checker
+from repro.consistency.execution import ExecutionBuildError, execution_from_trace
+from repro.consistency.models import (SequentialConsistency, TotalStoreOrder,
+                                      model_by_name)
+from repro.sim.testprogram import OpKind, TestOp, TestThread
+from repro.sim.trace import ExecutionTrace
+
+X = 0x1000
+Y = 0x2000
+
+
+def mp_program() -> list[TestThread]:
+    """Writer: x=1; y=2.  Reader: r1=y; r2=x."""
+    return [
+        TestThread(0, (TestOp(0, OpKind.WRITE, X, 1),
+                       TestOp(1, OpKind.WRITE, Y, 2))),
+        TestThread(1, (TestOp(2, OpKind.READ, Y),
+                       TestOp(3, OpKind.READ, X))),
+    ]
+
+
+def mp_trace(r1: int, r2: int) -> ExecutionTrace:
+    trace = ExecutionTrace()
+    trace.record_write(0, 0, X, 1, 0)
+    trace.record_write(1, 0, Y, 2, 0)
+    trace.record_read(2, 1, Y, r1)
+    trace.record_read(3, 1, X, r2)
+    return trace
+
+
+def sb_program() -> list[TestThread]:
+    """T0: x=1; r0=y.  T1: y=2; r1=x."""
+    return [
+        TestThread(0, (TestOp(0, OpKind.WRITE, X, 1),
+                       TestOp(1, OpKind.READ, Y))),
+        TestThread(1, (TestOp(2, OpKind.WRITE, Y, 3),
+                       TestOp(3, OpKind.READ, X))),
+    ]
+
+
+def sb_trace(r0: int, r1: int) -> ExecutionTrace:
+    trace = ExecutionTrace()
+    trace.record_write(0, 0, X, 1, 0)
+    trace.record_read(1, 0, Y, r0)
+    trace.record_write(2, 1, Y, 3, 0)
+    trace.record_read(3, 1, X, r1)
+    return trace
+
+
+class TestExecutionBuilding:
+    def test_rf_and_co_edges(self):
+        execution = execution_from_trace(mp_program(), mp_trace(2, 1))
+        assert len(list(execution.rf.edges())) == 2
+        # Both writes overwrite the initial value -> two co edges from init.
+        assert len(list(execution.co.edges())) == 2
+
+    def test_unknown_value_is_corruption(self):
+        with pytest.raises(ExecutionBuildError):
+            execution_from_trace(mp_program(), mp_trace(99, 0))
+
+    def test_value_written_to_other_address_is_corruption(self):
+        # Value 2 is written to Y; reading it at X is corruption.
+        with pytest.raises(ExecutionBuildError):
+            execution_from_trace(mp_program(), mp_trace(2, 2))
+
+    def test_branching_coherence_is_lost_update(self):
+        program = [
+            TestThread(0, (TestOp(0, OpKind.WRITE, X, 1),)),
+            TestThread(1, (TestOp(1, OpKind.WRITE, X, 2),)),
+        ]
+        trace = ExecutionTrace()
+        trace.record_write(0, 0, X, 1, 0)
+        trace.record_write(1, 1, X, 2, 0)   # also claims to overwrite init
+        with pytest.raises(ExecutionBuildError):
+            execution_from_trace(program, trace)
+
+    def test_missing_read_observation_rejected(self):
+        trace = ExecutionTrace()
+        trace.record_write(0, 0, X, 1, 0)
+        trace.record_write(1, 0, Y, 2, 0)
+        trace.record_read(2, 1, Y, 0)
+        with pytest.raises(ExecutionBuildError):
+            execution_from_trace(mp_program(), trace)
+
+    def test_conflict_edges_for_ndt(self):
+        execution = execution_from_trace(mp_program(), mp_trace(2, 1))
+        edges = execution.conflict_edges()
+        assert ((0, "W"), (3, "R")) in edges       # x write -> x read
+        assert ((1, "W"), (2, "R")) in edges       # y write -> y read
+
+    def test_po_loc_edges_only_same_address(self):
+        execution = execution_from_trace(mp_program(), mp_trace(2, 1))
+        assert len(list(execution.po_loc_edges().edges())) == 0
+
+    def test_fr_derived_from_co_chain(self):
+        execution = execution_from_trace(mp_program(), mp_trace(0, 0))
+        # Reads of the initial value are fr-before the writes.
+        fr_edges = list(execution.fr.edges())
+        assert len(fr_edges) == 2
+
+
+class TestTsoVerdicts:
+    def setup_method(self):
+        self.checker = Checker(TotalStoreOrder())
+
+    def test_mp_forbidden_outcome_rejected(self):
+        result = self.checker.check_trace(mp_program(), mp_trace(2, 0))
+        assert not result.passed
+        assert any(violation.kind == "ghb" for violation in result.violations)
+
+    @pytest.mark.parametrize("r1,r2", [(0, 0), (0, 1), (2, 1)])
+    def test_mp_allowed_outcomes_accepted(self, r1, r2):
+        assert self.checker.check_trace(mp_program(), mp_trace(r1, r2)).passed
+
+    def test_sb_both_zero_allowed_under_tso(self):
+        """Store buffering: both reads may see the initial value under TSO."""
+        assert self.checker.check_trace(sb_program(), sb_trace(0, 0)).passed
+
+    @pytest.mark.parametrize("r0,r1", [(3, 0), (0, 1), (3, 1)])
+    def test_sb_other_outcomes_allowed(self, r0, r1):
+        assert self.checker.check_trace(sb_program(), sb_trace(r0, r1)).passed
+
+    def test_coherence_violation_detected(self):
+        """CoRR: two reads of the same address must not go backwards in co."""
+        program = [
+            TestThread(0, (TestOp(0, OpKind.WRITE, X, 1),
+                           TestOp(1, OpKind.WRITE, X, 2))),
+            TestThread(1, (TestOp(2, OpKind.READ, X),
+                           TestOp(3, OpKind.READ, X))),
+        ]
+        trace = ExecutionTrace()
+        trace.record_write(0, 0, X, 1, 0)
+        trace.record_write(1, 0, X, 2, 1)
+        trace.record_read(2, 1, X, 2)
+        trace.record_read(3, 1, X, 1)      # older value after newer: forbidden
+        result = self.checker.check_trace(program, trace)
+        assert not result.passed
+
+    def test_rmw_atomicity_violation_detected(self):
+        program = [
+            TestThread(0, (TestOp(0, OpKind.RMW, X, 1),)),
+            TestThread(1, (TestOp(1, OpKind.WRITE, X, 2),)),
+        ]
+        trace = ExecutionTrace()
+        # The RMW read the initial value, but the other write intervened
+        # between its read and its write in coherence order.
+        trace.record_rmw(0, 0, X, 0, 1, 2)
+        trace.record_write(1, 1, X, 2, 0)
+        result = self.checker.check_trace(program, trace)
+        assert not result.passed
+        assert any(violation.kind == "atomicity" for violation in result.violations)
+
+    def test_rmw_atomicity_ok_when_uninterrupted(self):
+        program = [
+            TestThread(0, (TestOp(0, OpKind.RMW, X, 1),)),
+            TestThread(1, (TestOp(1, OpKind.WRITE, X, 2),)),
+        ]
+        trace = ExecutionTrace()
+        trace.record_rmw(0, 0, X, 0, 1, 0)
+        trace.record_write(1, 1, X, 2, 1)
+        assert self.checker.check_trace(program, trace).passed
+
+    def test_store_load_forwarding_allowed(self):
+        """A thread may read its own buffered store before it is visible."""
+        program = [
+            TestThread(0, (TestOp(0, OpKind.WRITE, X, 1),
+                           TestOp(1, OpKind.READ, X),
+                           TestOp(2, OpKind.READ, Y))),
+            TestThread(1, (TestOp(3, OpKind.WRITE, Y, 4),
+                           TestOp(4, OpKind.READ, Y),
+                           TestOp(5, OpKind.READ, X))),
+        ]
+        trace = ExecutionTrace()
+        trace.record_write(0, 0, X, 1, 0)
+        trace.record_read(1, 0, X, 1)
+        trace.record_read(2, 0, Y, 0)
+        trace.record_write(3, 1, Y, 4, 0)
+        trace.record_read(4, 1, Y, 4)
+        trace.record_read(5, 1, X, 0)
+        assert Checker(TotalStoreOrder()).check_trace(program, trace).passed
+        # The same outcome is an SC violation (it needs store buffers).
+        assert not Checker(SequentialConsistency()).check_trace(program, trace).passed
+
+
+class TestScVerdicts:
+    def test_sb_both_zero_forbidden_under_sc(self):
+        checker = Checker(SequentialConsistency())
+        assert not checker.check_trace(sb_program(), sb_trace(0, 0)).passed
+
+    def test_mp_allowed_outcome_still_allowed(self):
+        checker = Checker(SequentialConsistency())
+        assert checker.check_trace(mp_program(), mp_trace(2, 1)).passed
+
+
+class TestModelRegistry:
+    def test_lookup_by_name(self):
+        assert model_by_name("tso").name == "TSO"
+        assert model_by_name("SC").name == "SC"
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            model_by_name("PowerPC")

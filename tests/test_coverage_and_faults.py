@@ -1,0 +1,119 @@
+"""Unit tests for coverage collection and fault definitions."""
+
+import pytest
+
+from repro.sim.coverage import CoverageCollector, TransitionKey
+from repro.sim.faults import (ALL_FAULTS, Fault, FaultSet, ProtocolError,
+                              fault_by_paper_name)
+
+
+class TestCoverageCollector:
+    def test_record_counts_globally(self):
+        coverage = CoverageCollector()
+        coverage.record("L1", "I", "Load")
+        coverage.record("L1", "I", "Load")
+        key = TransitionKey("L1", "I", "Load")
+        assert coverage.global_counts[key] == 2
+
+    def test_run_transitions_reset_per_run(self):
+        coverage = CoverageCollector()
+        coverage.record("L1", "I", "Load")
+        coverage.begin_run()
+        coverage.record("L1", "S", "Store")
+        assert coverage.run_transitions() == frozenset(
+            {TransitionKey("L1", "S", "Store")})
+        assert coverage.global_counts[TransitionKey("L1", "I", "Load")] == 1
+
+    def test_total_coverage_uses_declared_space(self):
+        coverage = CoverageCollector()
+        declared = [TransitionKey("L1", "I", e) for e in ("Load", "Store", "RMW", "Flush")]
+        coverage.declare(declared)
+        coverage.record("L1", "I", "Load")
+        assert coverage.total_coverage() == pytest.approx(0.25)
+
+    def test_rare_transitions_exclude_frequent(self):
+        coverage = CoverageCollector()
+        for _ in range(10):
+            coverage.record("L1", "I", "Load")
+        coverage.record("L1", "S", "Inv")
+        rare = coverage.rare_transitions(cutoff=5)
+        assert TransitionKey("L1", "S", "Inv") in rare
+        assert TransitionKey("L1", "I", "Load") not in rare
+
+    def test_rare_transitions_include_unseen_declared(self):
+        coverage = CoverageCollector()
+        coverage.declare([TransitionKey("L2", "MT", "Recall")])
+        assert TransitionKey("L2", "MT", "Recall") in coverage.rare_transitions(1)
+
+    def test_merge(self):
+        first = CoverageCollector()
+        second = CoverageCollector()
+        first.record("L1", "I", "Load")
+        second.record("L1", "S", "Inv")
+        first.merge(second)
+        assert len(first.covered_transitions) == 2
+
+    def test_empty_collector_coverage_is_zero(self):
+        assert CoverageCollector().total_coverage() == 0.0
+
+
+class TestFaults:
+    def test_eleven_faults_defined(self):
+        assert len(ALL_FAULTS) == 11
+
+    def test_paper_names_round_trip(self):
+        for fault in ALL_FAULTS:
+            assert fault_by_paper_name(fault.paper_name) is fault
+
+    def test_unknown_paper_name(self):
+        with pytest.raises(KeyError):
+            fault_by_paper_name("MESI,LQ+Z,Inv")
+
+    def test_real_gem5_bugs_marked(self):
+        real = {fault for fault in ALL_FAULTS if fault.is_real_gem5_bug}
+        assert real == {Fault.MESI_LQ_IS_INV, Fault.MESI_LQ_SM_INV,
+                        Fault.MESI_PUTX_RACE, Fault.LQ_NO_TSO}
+
+    def test_protocol_attribution(self):
+        assert Fault.MESI_LQ_IS_INV.protocol == "MESI"
+        assert Fault.TSOCC_COMPARE.protocol == "TSO_CC"
+        assert Fault.LQ_NO_TSO.protocol == "ANY"
+        assert Fault.SQ_NO_FIFO.protocol == "ANY"
+
+    def test_eviction_dependent_bugs(self):
+        needing = {fault for fault in ALL_FAULTS if fault.needs_evictions}
+        assert needing == {Fault.MESI_LQ_S_REPLACEMENT, Fault.MESI_PUTX_RACE,
+                           Fault.MESI_REPLACE_RACE}
+
+
+class TestFaultSet:
+    def test_empty_by_default(self):
+        assert len(FaultSet.none()) == 0
+        assert Fault.LQ_NO_TSO not in FaultSet.none()
+
+    def test_of_and_contains(self):
+        faults = FaultSet.of(Fault.LQ_NO_TSO, Fault.SQ_NO_FIFO)
+        assert Fault.LQ_NO_TSO in faults
+        assert Fault.MESI_LQ_IS_INV not in faults
+        assert faults.enabled(Fault.SQ_NO_FIFO)
+
+    def test_compatible_protocol(self):
+        assert FaultSet.of(Fault.MESI_LQ_IS_INV).compatible_protocol() == "MESI"
+        assert FaultSet.of(Fault.LQ_NO_TSO).compatible_protocol() is None
+
+    def test_conflicting_protocols_rejected(self):
+        mixed = FaultSet.of(Fault.MESI_LQ_IS_INV, Fault.TSOCC_COMPARE)
+        with pytest.raises(ValueError):
+            mixed.compatible_protocol()
+
+    def test_iteration_is_sorted_and_stable(self):
+        faults = FaultSet.of(Fault.SQ_NO_FIFO, Fault.LQ_NO_TSO)
+        assert [fault.name for fault in faults] == ["LQ_NO_TSO", "SQ_NO_FIFO"]
+
+
+class TestProtocolError:
+    def test_message_contains_state_and_event(self):
+        error = ProtocolError("L2", "MT_MB", "PutM", "racy writeback")
+        assert "MT_MB" in str(error)
+        assert "PutM" in str(error)
+        assert error.controller == "L2"

@@ -1,0 +1,149 @@
+"""Tests for the adaptive-coverage fitness and the steady-state GA."""
+
+import random
+
+import pytest
+
+from repro.core.config import GeneratorConfig
+from repro.core.fitness import (AdaptiveCoverageFitness, ConstantFitness,
+                                NdtAugmentedFitness)
+from repro.core.generator import RandomTestGenerator
+from repro.core.nondeterminism import TestRunStats
+from repro.core.population import SteadyStateGA
+from repro.sim.coverage import CoverageCollector, TransitionKey
+
+
+def transitions(*names: str) -> frozenset[TransitionKey]:
+    return frozenset(TransitionKey("L1", "I", name) for name in names)
+
+
+def record_all(coverage: CoverageCollector, names: list[str], times: int = 1) -> None:
+    for name in names:
+        for _ in range(times):
+            coverage.record("L1", "I", name)
+
+
+class TestAdaptiveCoverageFitness:
+    def test_fitness_is_fraction_of_rare_transitions(self):
+        coverage = CoverageCollector()
+        record_all(coverage, ["a", "b", "c", "d"])
+        fitness = AdaptiveCoverageFitness(coverage, initial_cutoff=4)
+        report = fitness.evaluate(transitions("a", "b"))
+        assert report.fitness == pytest.approx(0.5)
+        assert report.rare_transitions == 4
+
+    def test_frequent_transitions_excluded(self):
+        coverage = CoverageCollector()
+        record_all(coverage, ["hot"], times=10)
+        record_all(coverage, ["cold"], times=1)
+        fitness = AdaptiveCoverageFitness(coverage, initial_cutoff=4)
+        report = fitness.evaluate(transitions("hot", "cold"))
+        # Only "cold" is rare; covering it gives full adaptive coverage.
+        assert report.fitness == pytest.approx(1.0)
+
+    def test_cutoff_doubles_after_patience_exhausted(self):
+        coverage = CoverageCollector()
+        record_all(coverage, ["a", "b"], times=10)
+        fitness = AdaptiveCoverageFitness(coverage, initial_cutoff=2,
+                                          low_threshold=0.5, patience=3)
+        for _ in range(3):
+            fitness.evaluate(frozenset())
+        assert fitness.cutoff == 4
+        assert len(fitness.cutoff_history) == 2
+
+    def test_good_run_resets_patience(self):
+        coverage = CoverageCollector()
+        record_all(coverage, ["a"])
+        fitness = AdaptiveCoverageFitness(coverage, initial_cutoff=4,
+                                          low_threshold=0.5, patience=2)
+        fitness.evaluate(frozenset())
+        fitness.evaluate(transitions("a"))      # good run
+        fitness.evaluate(frozenset())
+        assert fitness.cutoff == 4
+
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveCoverageFitness(CoverageCollector(), initial_cutoff=0)
+
+    def test_empty_rare_set_scores_zero(self):
+        fitness = AdaptiveCoverageFitness(CoverageCollector())
+        assert fitness.evaluate(frozenset()).fitness == 0.0
+
+
+class TestNdtAugmentedFitness:
+    def test_combines_coverage_and_ndt(self):
+        coverage = CoverageCollector()
+        record_all(coverage, ["a", "b"])
+        fitness = NdtAugmentedFitness(coverage, initial_cutoff=4,
+                                      ndt_saturation=4.0)
+        report = fitness.evaluate(transitions("a", "b"), ndt=2.0)
+        assert report.fitness == pytest.approx(0.5 * 1.0 + 0.5 * 0.5)
+        assert report.ndt == 2.0
+
+    def test_ndt_saturates(self):
+        fitness = NdtAugmentedFitness(CoverageCollector(), ndt_saturation=2.0)
+        report = fitness.evaluate(frozenset(), ndt=100.0)
+        assert report.fitness == pytest.approx(0.5)
+
+
+class TestConstantFitness:
+    def test_always_same_value(self):
+        fitness = ConstantFitness(value=0.3)
+        assert fitness.evaluate(frozenset()).fitness == 0.3
+        assert fitness.evaluate(transitions("a")).fitness == 0.3
+
+
+def make_stats() -> TestRunStats:
+    return TestRunStats(num_events=1, event_addresses={})
+
+
+class TestSteadyStateGA:
+    def make_population(self, capacity=4) -> tuple[SteadyStateGA, RandomTestGenerator]:
+        config = GeneratorConfig.quick(memory_kib=1, test_size=8)
+        rng = random.Random(3)
+        generator = RandomTestGenerator(config, rng)
+        return SteadyStateGA(capacity=capacity, tournament_size=2, rng=rng), generator
+
+    def test_insert_until_capacity(self):
+        population, generator = self.make_population(capacity=3)
+        for index in range(3):
+            population.insert(generator.generate(), fitness=index / 10,
+                              stats=make_stats())
+        assert len(population) == 3 and population.full
+
+    def test_delete_oldest_replacement(self):
+        population, generator = self.make_population(capacity=2)
+        first = population.insert(generator.generate(), 0.9, make_stats())
+        population.insert(generator.generate(), 0.1, make_stats())
+        population.insert(generator.generate(), 0.5, make_stats())
+        assert len(population) == 2
+        assert first not in population.members          # oldest evicted
+
+    def test_tournament_prefers_fitter(self):
+        population, generator = self.make_population(capacity=10)
+        population.insert(generator.generate(), 0.1, make_stats())
+        best = population.insert(generator.generate(), 0.9, make_stats())
+        winners = [population.tournament_select() for _ in range(40)]
+        assert winners.count(best) > 20
+
+    def test_select_from_empty_population_rejected(self):
+        population, _ = self.make_population()
+        with pytest.raises(RuntimeError):
+            population.tournament_select()
+
+    def test_statistics(self):
+        population, generator = self.make_population(capacity=4)
+        population.insert(generator.generate(), 0.2, make_stats())
+        population.insert(generator.generate(), 0.6, make_stats())
+        assert population.mean_fitness() == pytest.approx(0.4)
+        assert population.best().fitness == 0.6
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SteadyStateGA(capacity=1, tournament_size=2, rng=random.Random(1))
+
+    def test_empty_statistics(self):
+        population, _ = self.make_population()
+        assert population.mean_fitness() == 0.0
+        assert population.mean_ndt() == 0.0
+        assert population.best() is None

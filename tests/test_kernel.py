@@ -1,0 +1,130 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import SimKernel, SimulationLimitError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        kernel = SimKernel(seed=1)
+        order = []
+        kernel.schedule(30, lambda: order.append("c"))
+        kernel.schedule(10, lambda: order.append("a"))
+        kernel.schedule(20, lambda: order.append("b"))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_schedule_order(self):
+        kernel = SimKernel(seed=1)
+        order = []
+        for name in "abcde":
+            kernel.schedule(5, lambda n=name: order.append(n))
+        kernel.run()
+        assert order == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        kernel = SimKernel(seed=1)
+        seen = []
+        kernel.schedule(7, lambda: seen.append(kernel.now))
+        kernel.schedule(19, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [7, 19]
+
+    def test_nested_scheduling_from_callback(self):
+        kernel = SimKernel(seed=1)
+        order = []
+
+        def first():
+            order.append("first")
+            kernel.schedule(5, lambda: order.append("second"))
+
+        kernel.schedule(1, first)
+        end = kernel.run()
+        assert order == ["first", "second"]
+        assert end == 6
+
+    def test_negative_delay_rejected(self):
+        kernel = SimKernel(seed=1)
+        with pytest.raises(ValueError):
+            kernel.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        kernel = SimKernel(seed=1)
+        seen = []
+        kernel.schedule_at(42, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [42]
+
+    def test_schedule_at_in_the_past_rejected(self):
+        kernel = SimKernel(seed=1)
+        kernel.schedule(10, lambda: None)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.schedule_at(5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        kernel = SimKernel(seed=1)
+        ran = []
+        handle = kernel.schedule(5, lambda: ran.append(1))
+        handle.cancel()
+        kernel.run()
+        assert not ran
+        assert handle.cancelled
+
+    def test_pending_counts_only_live_events(self):
+        kernel = SimKernel(seed=1)
+        keep = kernel.schedule(5, lambda: None)
+        drop = kernel.schedule(6, lambda: None)
+        drop.cancel()
+        assert kernel.pending == 1
+        _ = keep
+
+
+class TestUntilAndLimits:
+    def test_until_predicate_stops_run(self):
+        kernel = SimKernel(seed=1)
+        done = []
+        for delay in range(1, 20):
+            kernel.schedule(delay, lambda d=delay: done.append(d))
+        kernel.run(until=lambda: len(done) >= 5)
+        assert len(done) == 5
+
+    def test_tick_limit_raises(self):
+        kernel = SimKernel(seed=1, max_ticks=100)
+
+        def reschedule():
+            kernel.schedule(50, reschedule)
+
+        kernel.schedule(1, reschedule)
+        with pytest.raises(SimulationLimitError):
+            kernel.run()
+
+    def test_event_limit_raises(self):
+        kernel = SimKernel(seed=1, max_events=50)
+
+        def reschedule():
+            kernel.schedule(1, reschedule)
+
+        kernel.schedule(1, reschedule)
+        with pytest.raises(SimulationLimitError):
+            kernel.run()
+
+
+class TestJitter:
+    def test_jitter_within_bounds(self):
+        kernel = SimKernel(seed=3)
+        values = [kernel.jitter(5, 9) for _ in range(200)]
+        assert min(values) >= 5
+        assert max(values) <= 9
+
+    def test_jitter_deterministic_for_seed(self):
+        first = [SimKernel(seed=11).jitter(0, 1000) for _ in range(1)]
+        second = [SimKernel(seed=11).jitter(0, 1000) for _ in range(1)]
+        assert first == second
+
+    def test_jitter_invalid_range(self):
+        with pytest.raises(ValueError):
+            SimKernel(seed=1).jitter(5, 4)

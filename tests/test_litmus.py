@@ -1,0 +1,133 @@
+"""Tests for the diy-style litmus generator and the x86-TSO corpus."""
+
+import pytest
+
+from repro.consistency.operational import all_read_outcomes
+from repro.litmus.corpus import corpus_names, litmus_by_name, x86_tso_corpus
+from repro.litmus.diy import CycleEdge, generate_from_cycle
+from repro.sim.testprogram import OpKind
+
+
+class TestCycleEdges:
+    def test_edge_types(self):
+        assert CycleEdge("Rfe").src_type == "W"
+        assert CycleEdge("Rfe").dst_type == "R"
+        assert CycleEdge("Fre").src_type == "R"
+        assert CycleEdge("PodWW").is_program_order
+
+    def test_unknown_edge_rejected(self):
+        with pytest.raises(ValueError):
+            CycleEdge("PodXY")
+
+    def test_tso_relaxation_flag(self):
+        assert CycleEdge("PodWR").relaxed_under_tso
+        assert not CycleEdge("MFencedWR").relaxed_under_tso
+        assert not CycleEdge("PodRR").relaxed_under_tso
+
+    def test_fenced_edges(self):
+        assert CycleEdge("MFencedWR").fenced
+        assert not CycleEdge("PodWR").fenced
+
+
+class TestCycleGeneration:
+    def test_mp_shape(self):
+        test = generate_from_cycle("MP", ["PodWW", "Rfe", "PodRR", "Fre"])
+        assert test.num_threads == 2
+        assert test.num_addresses == 2
+        assert test.forbidden_under_tso
+        threads = test.chromosome.to_threads()
+        kinds = [[op.kind for op in thread.ops] for thread in threads]
+        assert kinds[0] == [OpKind.WRITE, OpKind.WRITE]
+        assert kinds[1] == [OpKind.READ, OpKind.READ]
+
+    def test_sb_is_allowed_under_tso(self):
+        test = generate_from_cycle("SB", ["PodWR", "Fre", "PodWR", "Fre"])
+        assert not test.forbidden_under_tso
+
+    def test_fenced_sb_is_forbidden_and_contains_rmw(self):
+        test = generate_from_cycle("SB+mfences",
+                                   ["MFencedWR", "Fre", "MFencedWR", "Fre"])
+        assert test.forbidden_under_tso
+        kinds = {op.kind for _, op in test.chromosome.slots}
+        assert OpKind.RMW in kinds
+
+    def test_iriw_has_four_threads(self):
+        test = generate_from_cycle(
+            "IRIW", ["Rfe", "PodRR", "Fre", "Rfe", "PodRR", "Fre"])
+        assert test.num_threads == 4
+
+    def test_same_address_cycle(self):
+        test = generate_from_cycle("CoRR", ["Rfe", "PosRR", "Fre"])
+        assert test.num_addresses == 1
+
+    def test_cycle_without_external_edge_rejected(self):
+        with pytest.raises(ValueError):
+            generate_from_cycle("bad", ["PodWW", "PodWW"])
+
+    def test_badly_typed_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            generate_from_cycle("bad", ["PodWW", "Fre"])
+
+    def test_rotation_handles_external_edge_first(self):
+        test = generate_from_cycle("WRC-rotated",
+                                   ["Rfe", "PodRR", "Fre", "PodWW"])
+        for pid, op in test.chromosome.slots:
+            assert 0 <= pid < test.num_threads
+
+    def test_addresses_use_distinct_cache_lines(self):
+        test = generate_from_cycle("MP", ["PodWW", "Rfe", "PodRR", "Fre"])
+        lines = {op.address // 64 for _, op in test.chromosome.slots
+                 if op.address is not None}
+        assert len(lines) == test.num_addresses
+
+
+class TestCorpus:
+    def test_corpus_has_38_tests(self):
+        assert len(x86_tso_corpus()) == 38
+        assert len(corpus_names()) == 38
+
+    def test_all_tests_valid_chromosomes(self):
+        for test in x86_tso_corpus():
+            threads = test.chromosome.to_threads()
+            assert sum(len(thread) for thread in threads) == len(test.chromosome)
+            assert test.num_threads <= 4
+
+    def test_classic_names_present(self):
+        names = set(corpus_names())
+        for name in ("MP", "SB", "LB", "IRIW", "2+2W", "CoRR", "SB+mfences"):
+            assert name in names
+
+    def test_lookup_by_name(self):
+        assert litmus_by_name("MP").name == "MP"
+        with pytest.raises(KeyError):
+            litmus_by_name("does-not-exist")
+
+    def test_forbidden_flags_match_operational_model(self):
+        """Spot-check: diy verdicts agree with exhaustive TSO enumeration.
+
+        For two-thread, few-op tests we can enumerate all operationally
+        reachable outcomes; a cycle marked forbidden must have no reachable
+        outcome exhibiting it, an allowed one must have at least one.  We
+        check the canonical pair MP (forbidden) / SB (allowed) plus R.
+        """
+        mp = litmus_by_name("MP")
+        sb = litmus_by_name("SB")
+        # MP: reader sees flag (last write of thread 0) but not the data.
+        mp_threads = mp.chromosome.to_threads()
+        writer = mp_threads[0]
+        reader = mp_threads[1]
+        flag_value = writer.ops[1].value
+        outcomes = all_read_outcomes(mp_threads, model="TSO")
+        forbidden = {(reader.ops[0].op_id, flag_value), (reader.ops[1].op_id, 0)}
+        assert not any(forbidden <= set(outcome) for outcome in outcomes)
+        # SB: both readers may miss the other thread's write under TSO.
+        sb_threads = sb.chromosome.to_threads()
+        read_ids = [op.op_id for thread in sb_threads for op in thread.ops
+                    if op.kind is OpKind.READ]
+        relaxed = {(read_id, 0) for read_id in read_ids}
+        sb_outcomes = all_read_outcomes(sb_threads, model="TSO")
+        assert any(relaxed <= set(outcome) for outcome in sb_outcomes)
+
+    def test_mfence_variants_marked_forbidden(self):
+        for name in ("SB+mfences", "R+mfences", "IRIW+mfences"):
+            assert litmus_by_name(name).forbidden_under_tso

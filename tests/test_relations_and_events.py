@@ -1,0 +1,109 @@
+"""Unit tests for the relation utilities and event model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency.events import (Event, EventKind, init_write, read_event,
+                                      write_event)
+from repro.consistency.relations import Relation
+
+
+class TestRelationBasics:
+    def test_add_and_contains(self):
+        relation = Relation()
+        relation.add("a", "b")
+        assert ("a", "b") in relation
+        assert ("b", "a") not in relation
+
+    def test_len_counts_edges(self):
+        relation = Relation([("a", "b"), ("a", "c"), ("b", "c")])
+        assert len(relation) == 3
+
+    def test_union(self):
+        merged = Relation.union(Relation([("a", "b")]), Relation([("b", "c")]))
+        assert ("a", "b") in merged and ("b", "c") in merged
+
+    def test_successors(self):
+        relation = Relation([("a", "b"), ("a", "c")])
+        assert relation.successors("a") == frozenset({"b", "c"})
+        assert relation.successors("z") == frozenset()
+
+    def test_nodes(self):
+        relation = Relation([("a", "b")])
+        assert relation.nodes() == {"a", "b"}
+
+
+class TestCycleDetection:
+    def test_acyclic_chain(self):
+        relation = Relation([("a", "b"), ("b", "c"), ("c", "d")])
+        assert relation.is_acyclic()
+
+    def test_self_loop_detected(self):
+        relation = Relation([("a", "a")])
+        cycle = relation.find_cycle()
+        assert cycle is not None
+
+    def test_two_cycle_detected(self):
+        relation = Relation([("a", "b"), ("b", "a")])
+        cycle = relation.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+
+    def test_long_cycle_path_reported(self):
+        relation = Relation([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+        cycle = relation.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"a", "b", "c", "d"}
+
+    def test_diamond_is_acyclic(self):
+        relation = Relation([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        assert relation.is_acyclic()
+
+    def test_cycle_in_disconnected_component(self):
+        relation = Relation([("a", "b"), ("x", "y"), ("y", "z"), ("z", "x")])
+        assert not relation.is_acyclic()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 12), st.integers(0, 12)),
+                    max_size=40))
+    def test_cycle_reported_iff_closure_has_reflexive_pair(self, edges):
+        """Property: DFS cycle detection agrees with the transitive closure."""
+        relation = Relation(edges)
+        closure = relation.transitive_closure()
+        has_reflexive = any((node, node) in closure for node in relation.nodes())
+        assert (relation.find_cycle() is not None) == has_reflexive
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(16, 30)),
+                    max_size=60))
+    def test_bipartite_forward_edges_never_cycle(self, edges):
+        """Property: edges that only go from low to high ids are acyclic."""
+        assert Relation(edges).is_acyclic()
+
+
+class TestEvents:
+    def test_init_write_properties(self):
+        event = init_write(0x40)
+        assert event.is_write and event.is_init
+        assert event.value == 0
+
+    def test_read_write_constructors(self):
+        read = read_event(3, 1, 0, 0x40, 7)
+        write = write_event(4, 1, 1, 0x40, 5)
+        assert read.is_read and not read.is_write
+        assert write.is_write and not write.is_read
+        assert read.eid == (3, "R")
+        assert write.eid == (4, "W")
+
+    def test_events_hashable_and_ordered(self):
+        events = {init_write(0x40), init_write(0x80), init_write(0x40)}
+        assert len(events) == 2
+        assert sorted([write_event(2, 0, 1, 0, 1), write_event(1, 0, 0, 0, 1)])
+
+    def test_atomic_flag(self):
+        read = read_event(3, 1, 0, 0x40, 7, is_atomic=True)
+        assert read.is_atomic
+        assert read.kind is EventKind.READ
+
+    def test_str_representation(self):
+        assert "init" in str(init_write(0x40))
+        assert "P1" in str(read_event(3, 1, 0, 0x40, 7))

@@ -1,0 +1,120 @@
+"""Integration tests: full system executions on both protocols.
+
+The single most important property of the substrate: a fault-free system
+never violates TSO, never corrupts data and never deadlocks, across both
+protocols, both test-memory sizes and many random seeds.  The injected-bug
+behaviour is covered in ``test_fault_injection.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.consistency.checker import Checker
+from repro.consistency.models import TotalStoreOrder
+from repro.core.config import GeneratorConfig
+from repro.core.engine import VerificationEngine
+from repro.core.generator import RandomTestGenerator
+from repro.sim.config import SystemConfig, TestMemoryLayout
+from repro.sim.coverage import CoverageCollector
+from repro.sim.system import System
+from repro.sim.testprogram import OpKind, TestOp, TestThread
+
+
+class TestSingleIteration:
+    def run_simple(self, protocol: str, seed: int = 1):
+        layout = TestMemoryLayout.kib(1)
+        x, y = layout.slot_address(0), layout.slot_address(8)
+        threads = [
+            TestThread(0, (TestOp(0, OpKind.WRITE, x, 1),
+                           TestOp(1, OpKind.WRITE, y, 2),
+                           TestOp(2, OpKind.READ, x))),
+            TestThread(1, (TestOp(3, OpKind.READ, y),
+                           TestOp(4, OpKind.READ, x),
+                           TestOp(5, OpKind.RMW, y, 6))),
+        ]
+        system = System(config=SystemConfig(num_cores=2, protocol=protocol),
+                        coverage=CoverageCollector())
+        return threads, system.run_iteration(threads, seed)
+
+    @pytest.mark.parametrize("protocol", ["MESI", "TSO_CC"])
+    def test_simple_program_completes(self, protocol):
+        threads, result = self.run_simple(protocol)
+        assert result.clean
+        assert len(result.trace.reads) == 3
+        assert len(result.trace.writes) == 2
+        assert len(result.trace.rmws) == 1
+
+    @pytest.mark.parametrize("protocol", ["MESI", "TSO_CC"])
+    def test_own_writes_are_observed(self, protocol):
+        """Thread 0 reads its own write to x (po-loc / forwarding)."""
+        threads, result = self.run_simple(protocol)
+        own_read = next(read for read in result.trace.reads if read.op_id == 2)
+        assert own_read.value == 1
+
+    @pytest.mark.parametrize("protocol", ["MESI", "TSO_CC"])
+    def test_executions_are_tso_consistent(self, protocol):
+        checker = Checker(TotalStoreOrder())
+        for seed in range(8):
+            threads, result = self.run_simple(protocol, seed)
+            assert result.clean
+            assert checker.check_trace(threads, result.trace).passed
+
+    def test_too_many_threads_rejected(self):
+        layout = TestMemoryLayout.kib(1)
+        threads = [TestThread(pid, (TestOp(pid, OpKind.READ,
+                                           layout.slot_address(0)),))
+                   for pid in range(5)]
+        system = System(config=SystemConfig(num_cores=4),
+                        coverage=CoverageCollector())
+        with pytest.raises(ValueError):
+            system.run_iteration(threads, 1)
+
+    def test_coverage_recorded(self):
+        coverage = CoverageCollector()
+        layout = TestMemoryLayout.kib(1)
+        threads = [TestThread(0, (TestOp(0, OpKind.WRITE, layout.slot_address(0), 1),))]
+        system = System(config=SystemConfig(num_cores=1), coverage=coverage)
+        system.run_iteration(threads, 1)
+        assert len(coverage.covered_transitions) > 0
+
+
+@pytest.mark.parametrize("protocol", ["MESI", "TSO_CC"])
+@pytest.mark.parametrize("memory_kib", [1, 8])
+def test_no_false_positives_on_random_tests(protocol, memory_kib):
+    """The headline soundness check: fault-free systems pass every test-run.
+
+    This exercises the full pipeline (generation, simulation, conflict-order
+    observation, axiomatic checking) across both protocols and both memory
+    sizes, including the eviction-heavy 8KB layout.
+    """
+    config = GeneratorConfig.quick(memory_kib=memory_kib, test_size=72,
+                                   iterations=3)
+    generator = RandomTestGenerator(config, random.Random(97 + memory_kib))
+    engine = VerificationEngine(config, SystemConfig(protocol=protocol),
+                                seed=1000 + memory_kib)
+    for index in range(6):
+        result = engine.run_test(generator.generate())
+        assert not result.bug_found, (
+            f"false positive on fault-free {protocol}/{memory_kib}KB "
+            f"(test-run {index}): {result.violations[:1]}")
+
+
+def test_mixed_operation_kinds_execute(quick_config):
+    """Flushes, delays, dependent reads and RMWs all execute and complete."""
+    layout = quick_config.memory
+    ops = [
+        TestOp(0, OpKind.WRITE, layout.slot_address(0), 1),
+        TestOp(1, OpKind.CACHE_FLUSH, layout.slot_address(0)),
+        TestOp(2, OpKind.DELAY, delay=5),
+        TestOp(3, OpKind.READ_ADDR_DP, layout.slot_address(0)),
+        TestOp(4, OpKind.RMW, layout.slot_address(4), 5),
+        TestOp(5, OpKind.READ, layout.slot_address(4)),
+    ]
+    threads = [TestThread(0, tuple(ops))]
+    system = System(config=SystemConfig(num_cores=1),
+                    coverage=CoverageCollector())
+    result = system.run_iteration(threads, 3)
+    assert result.clean
+    read = next(record for record in result.trace.reads if record.op_id == 5)
+    assert read.value == 5      # sees the RMW's write

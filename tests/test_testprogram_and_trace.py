@@ -1,0 +1,99 @@
+"""Unit tests for the executable test representation and execution traces."""
+
+import pytest
+
+from repro.sim.testprogram import OpKind, TestOp, TestThread, threads_from_slots
+from repro.sim.trace import ExecutionTrace
+
+
+class TestOpKind:
+    def test_memory_classification(self):
+        assert OpKind.READ.is_memory
+        assert OpKind.CACHE_FLUSH.is_memory
+        assert not OpKind.DELAY.is_memory
+
+    def test_load_classification(self):
+        assert OpKind.READ.is_load
+        assert OpKind.READ_ADDR_DP.is_load
+        assert not OpKind.WRITE.is_load
+
+    def test_write_classification(self):
+        assert OpKind.WRITE.writes_memory
+        assert OpKind.RMW.writes_memory
+        assert not OpKind.READ.writes_memory
+
+
+class TestTestOp:
+    def test_memory_op_requires_address(self):
+        with pytest.raises(ValueError):
+            TestOp(op_id=0, kind=OpKind.READ)
+
+    def test_write_requires_positive_value(self):
+        with pytest.raises(ValueError):
+            TestOp(op_id=0, kind=OpKind.WRITE, address=0x40, value=0)
+
+    def test_delay_requires_non_negative(self):
+        with pytest.raises(ValueError):
+            TestOp(op_id=0, kind=OpKind.DELAY, delay=-1)
+
+    def test_valid_ops(self):
+        TestOp(op_id=0, kind=OpKind.READ, address=0x40)
+        TestOp(op_id=1, kind=OpKind.WRITE, address=0x40, value=2)
+        TestOp(op_id=2, kind=OpKind.DELAY, delay=10)
+
+
+class TestThreadsFromSlots:
+    def test_split_preserves_order(self):
+        slots = [
+            (0, TestOp(0, OpKind.READ, 0x40)),
+            (1, TestOp(1, OpKind.WRITE, 0x40, 2)),
+            (0, TestOp(2, OpKind.READ, 0x80)),
+        ]
+        threads = threads_from_slots(slots, num_threads=2)
+        assert [op.op_id for op in threads[0].ops] == [0, 2]
+        assert [op.op_id for op in threads[1].ops] == [1]
+
+    def test_empty_threads_allowed(self):
+        threads = threads_from_slots([], num_threads=3)
+        assert len(threads) == 3
+        assert all(len(thread) == 0 for thread in threads)
+
+    def test_out_of_range_pid_rejected(self):
+        with pytest.raises(ValueError):
+            threads_from_slots([(5, TestOp(0, OpKind.READ, 0x40))], num_threads=2)
+
+    def test_memory_ops_property(self):
+        thread = TestThread(0, (TestOp(0, OpKind.READ, 0x40),
+                                TestOp(1, OpKind.DELAY, delay=3),
+                                TestOp(2, OpKind.WRITE, 0x40, 3)))
+        assert [op.op_id for op in thread.memory_ops] == [0, 2]
+
+
+class TestExecutionTrace:
+    def test_reads_and_writes_recorded(self):
+        trace = ExecutionTrace()
+        trace.record_read(0, 0, 0x40, 5)
+        trace.record_write(1, 1, 0x40, 2, 0)
+        assert trace.reads[0].value == 5
+        assert trace.writes[0].overwritten == 0
+
+    def test_rmw_counts_as_two_events(self):
+        trace = ExecutionTrace()
+        trace.record_read(0, 0, 0x40, 0)
+        trace.record_write(1, 0, 0x40, 2, 0)
+        trace.record_rmw(2, 1, 0x40, 2, 3, 2)
+        assert trace.num_events == 4
+
+    def test_commit_order_tracks_reads_per_thread(self):
+        trace = ExecutionTrace()
+        trace.record_read(3, 1, 0x40, 0)
+        trace.record_read(5, 1, 0x80, 0)
+        trace.record_read(0, 0, 0x40, 0)
+        assert trace.commit_order[1] == [3, 5]
+        assert trace.commit_order[0] == [0]
+
+    def test_observed_value_sources(self):
+        trace = ExecutionTrace()
+        trace.record_read(0, 0, 0x40, 7)
+        trace.record_rmw(1, 0, 0x40, 3, 9, 3)
+        assert trace.observed_value_sources() == {7, 3}
