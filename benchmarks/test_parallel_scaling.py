@@ -1,0 +1,83 @@
+"""Scaling of the parallel campaign orchestrator (the "fast" in McVerSi).
+
+An 8-seed Table-4-style sweep is run serially and on a 4-worker pool.
+Campaigns are embarrassingly parallel, so on a host with >= 4 usable CPUs
+the pool should finish the sweep at least ~2x faster; per-shard results are
+bit-identical regardless of the worker count (seeds are derived from the
+matrix position, never the worker).
+
+The determinism assertion always runs.  The wall-clock speedup assertion
+only runs when the host actually exposes enough CPUs to this process —
+asserting parallel speedup on a single-core container would measure
+scheduler noise, not the orchestrator — and can be relaxed to a skip with
+``REPRO_STRICT_SCALING=0`` on noisy shared CI runners where co-tenant
+contention makes wall-clock ratios unreliable.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import bench_generator_config
+from repro.core.campaign import GeneratorKind
+from repro.harness.parallel import (campaign_matrix, default_workers,
+                                    run_campaigns)
+from repro.harness.reporting import format_speedup, format_sweep_report
+from repro.sim.config import SystemConfig
+from repro.sim.faults import Fault
+
+WORKERS = 4
+SEEDS = 8
+
+
+def _sweep_specs():
+    return campaign_matrix(
+        kinds=[GeneratorKind.MCVERSI_RAND],
+        faults=[Fault.SQ_NO_FIFO],
+        generator_config=bench_generator_config(memory_kib=1),
+        system_config=SystemConfig(),
+        max_evaluations=12,
+        seeds_per_cell=SEEDS,
+        base_seed=42)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    specs = _sweep_specs()
+    serial = run_campaigns(specs, workers=1)
+    parallel = run_campaigns(specs, workers=WORKERS)
+    return serial, parallel
+
+
+def test_parallel_results_match_serial(sweeps, capsys):
+    serial, parallel = sweeps
+    serial_outcomes = [(s.result.found, s.result.evaluations_to_find)
+                       for s in serial.shards]
+    parallel_outcomes = [(s.result.found, s.result.evaluations_to_find)
+                         for s in parallel.shards]
+    assert serial_outcomes == parallel_outcomes
+    assert serial.coverage.global_counts == parallel.coverage.global_counts
+    assert (serial.coverage.known_transitions
+            == parallel.coverage.known_transitions)
+    with capsys.disabled():
+        print()
+        print(format_sweep_report(parallel,
+                                  title=f"8-seed sweep at workers={WORKERS}"))
+
+
+def test_parallel_speedup(sweeps, benchmark, capsys):
+    serial, parallel = sweeps
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_speedup(serial.wall_seconds, parallel.wall_seconds,
+                             WORKERS))
+    if default_workers() < WORKERS:
+        pytest.skip(f"host exposes {default_workers()} CPU(s); "
+                    f"need {WORKERS} to assert wall-clock scaling")
+    if os.environ.get("REPRO_STRICT_SCALING", "1") == "0":
+        pytest.skip("wall-clock scaling assertion disabled "
+                    "(REPRO_STRICT_SCALING=0)")
+    assert parallel.wall_seconds < serial.wall_seconds / 2.0, (
+        "expected >= 2x speedup at 4 workers on an 8-seed sweep: "
+        + format_speedup(serial.wall_seconds, parallel.wall_seconds, WORKERS))

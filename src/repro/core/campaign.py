@@ -14,6 +14,7 @@ import random
 import time
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import ClassVar
 
 from repro.consistency.models import MemoryModel, TotalStoreOrder
 from repro.core.config import GeneratorConfig
@@ -22,6 +23,7 @@ from repro.core.engine import TestRunResult, VerificationEngine
 from repro.core.fitness import AdaptiveCoverageFitness, NdtAugmentedFitness
 from repro.core.generator import RandomTestGenerator
 from repro.core.population import SteadyStateGA
+from repro.core.program import Chromosome
 from repro.sim.config import SystemConfig
 from repro.sim.coverage import CoverageCollector
 from repro.sim.faults import FaultSet
@@ -34,6 +36,7 @@ class GeneratorKind(Enum):
     MCVERSI_STD_XO = "McVerSi-Std.XO"
     MCVERSI_RAND = "McVerSi-RAND"
     DIY_LITMUS = "diy-litmus"
+    DIRECTED = "directed-scenario"
 
     @property
     def is_genetic(self) -> bool:
@@ -61,10 +64,16 @@ class CampaignResult:
     sim_seconds: float = 0.0
     check_seconds: float = 0.0
 
+    #: Sentinel returned by :attr:`found_within` when the bug was never found;
+    #: larger than any realistic evaluation budget.
+    NEVER_FOUND: ClassVar[int] = 1 << 30
+
     @property
     def found_within(self) -> int:
         """Evaluations needed, or a sentinel larger than any budget."""
-        return self.evaluations_to_find if self.evaluations_to_find else 1 << 30
+        if self.evaluations_to_find is None:
+            return self.NEVER_FOUND
+        return self.evaluations_to_find
 
 
 class Campaign:
@@ -74,8 +83,10 @@ class Campaign:
                  system_config: SystemConfig,
                  faults: FaultSet | None = None,
                  model: MemoryModel | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 chromosome: Chromosome | None = None) -> None:
         self.kind = kind
+        self.chromosome = chromosome
         self.generator_config = generator_config
         self.system_config = system_config
         self.faults = faults or FaultSet.none()
@@ -105,6 +116,13 @@ class Campaign:
 
     def run(self, max_evaluations: int,
             time_limit_seconds: float | None = None) -> CampaignResult:
+        if self.kind is GeneratorKind.DIRECTED:
+            if self.chromosome is None:
+                raise ValueError(
+                    "a directed campaign needs the fixed chromosome to "
+                    "re-run (pass chromosome= to Campaign)")
+            return self._run_stateless(max_evaluations, time_limit_seconds,
+                                       lambda: self.chromosome)
         if self.kind is GeneratorKind.DIY_LITMUS:
             return self._run_litmus(max_evaluations, time_limit_seconds)
         if self.kind is GeneratorKind.MCVERSI_RAND:
@@ -140,6 +158,17 @@ class Campaign:
 
     def _run_random(self, max_evaluations: int,
                     time_limit_seconds: float | None) -> CampaignResult:
+        return self._run_stateless(max_evaluations, time_limit_seconds,
+                                   self.generator.generate)
+
+    def _run_stateless(self, max_evaluations: int,
+                       time_limit_seconds: float | None,
+                       supply) -> CampaignResult:
+        """Budget loop for generators without evolving state.
+
+        ``supply`` yields the next test: a fresh random chromosome for
+        McVerSi-RAND, the same fixed chromosome for a directed scenario.
+        """
         started = time.perf_counter()
         ndt_history: list[float] = []
         sim_seconds = check_seconds = 0.0
@@ -147,7 +176,7 @@ class Campaign:
         while not self._budget_exhausted(evaluations, max_evaluations, started,
                                          time_limit_seconds):
             evaluations += 1
-            result = self.engine.run_test(self.generator.generate())
+            result = self.engine.run_test(supply())
             sim_seconds += result.sim_seconds
             check_seconds += result.check_seconds
             ndt_history.append(result.ndt)

@@ -91,6 +91,10 @@ class VerificationEngine:
         """Run one test-run (several iterations) and score it."""
         self.test_runs += 1
         self.coverage.begin_run()
+        # Snapshot the rare set before this run's transitions are folded into
+        # the collector's global counts, so a test that pushes a rare
+        # transition past the cut-off during its own run still gets credit.
+        rare_before_run = self.fitness.pre_run_rare()
         threads = chromosome.to_threads()
         event_addresses = chromosome.event_addresses()
         stats = TestRunStats(num_events=max(len(event_addresses), 1),
@@ -130,7 +134,7 @@ class VerificationEngine:
                 stats.add_iteration(check.execution.conflict_edges())
 
         report = self.fitness.evaluate(self.coverage.run_transitions(),
-                                       ndt=stats.ndt())
+                                       ndt=stats.ndt(), rare=rare_before_run)
         return TestRunResult(chromosome=chromosome, stats=stats, fitness=report,
                              bug_found=bug_found, violations=violations,
                              iterations_run=iterations_run,

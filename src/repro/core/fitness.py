@@ -30,6 +30,25 @@ class FitnessReport:
     ndt: float = 0.0
 
 
+@dataclass(frozen=True)
+class RareSnapshot:
+    """The coverage state a test-run starts from (see ``pre_run_rare``).
+
+    ``rare`` is the rare set at the pre-run cut-off; ``known`` is every
+    transition the collector had seen or declared before the run.  A run
+    transition outside ``known`` is brand new and therefore counts as rare
+    — the snapshot must not strip novelty credit from the first test to
+    exercise a transition.
+    """
+
+    rare: frozenset[TransitionKey]
+    known: frozenset[TransitionKey]
+
+    def effective_rare(self, run_transitions: frozenset[TransitionKey]
+                       ) -> frozenset[TransitionKey]:
+        return self.rare | (run_transitions - self.known)
+
+
 class AdaptiveCoverageFitness:
     """Coverage-as-fitness with an adaptive rarity cut-off."""
 
@@ -45,11 +64,36 @@ class AdaptiveCoverageFitness:
         self._consecutive_low = 0
         self.cutoff_history: list[tuple[int, int]] = [(0, initial_cutoff)]
 
+    def pre_run_rare(self) -> RareSnapshot:
+        """Snapshot of the rare/known sets *before* a test-run executes.
+
+        The engine takes this snapshot before running a test so that a test
+        which itself pushes a rare transition's global count past the
+        cut-off is still rewarded for covering it (rather than being
+        self-penalised by its own contribution to the counts).  Transitions
+        the run is the first ever to exercise stay rare via
+        :meth:`RareSnapshot.effective_rare`.
+        """
+        return RareSnapshot(rare=self.coverage.rare_transitions(self.cutoff),
+                            known=self.coverage.known_transitions)
+
     def evaluate(self, run_transitions: frozenset[TransitionKey],
-                 ndt: float = 0.0) -> FitnessReport:
-        """Fitness of a test-run given the transitions it covered."""
+                 ndt: float = 0.0,
+                 rare: RareSnapshot | frozenset[TransitionKey] | None = None
+                 ) -> FitnessReport:
+        """Fitness of a test-run given the transitions it covered.
+
+        ``rare`` is the snapshot taken before the run (see
+        :meth:`pre_run_rare`); a plain frozenset is accepted as an explicit
+        rare set.  When omitted, the current rare set is used, which is
+        only correct if the run's transitions have not yet been folded into
+        the collector's global counts.
+        """
         self.evaluations += 1
-        rare = self.coverage.rare_transitions(self.cutoff)
+        if rare is None:
+            rare = self.coverage.rare_transitions(self.cutoff)
+        elif isinstance(rare, RareSnapshot):
+            rare = rare.effective_rare(run_transitions)
         covered_rare = len(run_transitions & rare)
         adaptive = covered_rare / len(rare) if rare else 0.0
         if adaptive < self.low_threshold:
@@ -80,8 +124,10 @@ class NdtAugmentedFitness(AdaptiveCoverageFitness):
         self.ndt_saturation = ndt_saturation
 
     def evaluate(self, run_transitions: frozenset[TransitionKey],
-                 ndt: float = 0.0) -> FitnessReport:
-        report = super().evaluate(run_transitions, ndt=ndt)
+                 ndt: float = 0.0,
+                 rare: RareSnapshot | frozenset[TransitionKey] | None = None
+                 ) -> FitnessReport:
+        report = super().evaluate(run_transitions, ndt=ndt, rare=rare)
         normalised_ndt = min(ndt / self.ndt_saturation, 1.0)
         combined = 0.5 * report.adaptive_coverage + 0.5 * normalised_ndt
         return FitnessReport(fitness=combined,
@@ -100,8 +146,13 @@ class ConstantFitness:
     cutoff: int = 0
     cutoff_history: list[tuple[int, int]] = field(default_factory=list)
 
+    def pre_run_rare(self) -> RareSnapshot:
+        return RareSnapshot(rare=frozenset(), known=frozenset())
+
     def evaluate(self, run_transitions: frozenset[TransitionKey],
-                 ndt: float = 0.0) -> FitnessReport:
+                 ndt: float = 0.0,
+                 rare: RareSnapshot | frozenset[TransitionKey] | None = None
+                 ) -> FitnessReport:
         self.evaluations += 1
         return FitnessReport(fitness=self.value, adaptive_coverage=0.0,
                              rare_transitions=0, covered_rare=0,

@@ -3,13 +3,33 @@
 from repro.harness.experiment import (BugCoverageCell, BugCoverageExperiment,
                                       CoverageExperiment, ExperimentSettings,
                                       budget_scaling_summary)
-from repro.harness.reporting import format_table
+from repro.harness.parallel import (CampaignSpec, CampaignSummary, ShardResult,
+                                    SweepReport, campaign_matrix,
+                                    default_workers, derive_shard_seed,
+                                    run_campaigns, run_shard, system_for_fault)
+from repro.harness.reporting import (format_speedup, format_sweep_report,
+                                     format_table)
+from repro.harness.scenarios import run_scenario_sweep, scenario_specs
 
 __all__ = [
     "BugCoverageCell",
     "BugCoverageExperiment",
+    "CampaignSpec",
+    "CampaignSummary",
     "CoverageExperiment",
     "ExperimentSettings",
+    "ShardResult",
+    "SweepReport",
     "budget_scaling_summary",
+    "campaign_matrix",
+    "default_workers",
+    "derive_shard_seed",
+    "format_speedup",
+    "format_sweep_report",
     "format_table",
+    "run_campaigns",
+    "run_scenario_sweep",
+    "run_shard",
+    "scenario_specs",
+    "system_for_fault",
 ]

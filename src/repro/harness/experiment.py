@@ -15,18 +15,25 @@ evaluation count provides deterministically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from statistics import mean
+from dataclasses import dataclass, replace
 
-from repro.core.campaign import Campaign, CampaignResult, GeneratorKind
+from repro.core.campaign import GeneratorKind
 from repro.core.config import GeneratorConfig
+from repro.harness.parallel import (CampaignSpec, CampaignSummary,
+                                    run_campaigns, system_for_fault)
 from repro.sim.config import SystemConfig, TestMemoryLayout
-from repro.sim.faults import Fault, FaultSet
+from repro.sim.faults import Fault
 
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Shared settings of one experiment run."""
+    """Shared settings of one experiment run.
+
+    ``workers`` shards the experiment's campaign matrix across a
+    multiprocessing pool (see :mod:`repro.harness.parallel`); per-campaign
+    seeds are fixed before scheduling, so any worker count reproduces the
+    ``workers=1`` results exactly.
+    """
 
     generator_config: GeneratorConfig
     system_config: SystemConfig
@@ -34,6 +41,7 @@ class ExperimentSettings:
     max_evaluations: int = 60
     time_limit_seconds: float | None = None
     seed: int = 1
+    workers: int = 1
 
     def with_memory(self, memory_kib: int) -> "ExperimentSettings":
         memory = TestMemoryLayout.kib(memory_kib)
@@ -43,47 +51,13 @@ class ExperimentSettings:
 
 
 @dataclass
-class BugCoverageCell:
-    """One cell of Table 4: a generator/bug pair over several samples."""
+class BugCoverageCell(CampaignSummary):
+    """One cell of Table 4: a generator/bug pair over several samples.
 
-    kind: GeneratorKind
-    memory_kib: int
-    fault: Fault
-    results: list[CampaignResult] = field(default_factory=list)
-
-    @property
-    def found_count(self) -> int:
-        return sum(1 for result in self.results if result.found)
-
-    @property
-    def samples(self) -> int:
-        return len(self.results)
-
-    @property
-    def mean_evaluations_to_find(self) -> float | None:
-        values = [result.evaluations_to_find for result in self.results
-                  if result.evaluations_to_find is not None]
-        if not values:
-            return None
-        return mean(values)
-
-    @property
-    def consistent(self) -> bool:
-        """Found in every sample (bold entries of Table 4)."""
-        return self.samples > 0 and self.found_count == self.samples
-
-    def label(self) -> str:
-        if self.found_count == 0:
-            return "NF"
-        mean_evals = self.mean_evaluations_to_find
-        return f"{self.found_count} ({mean_evals:.1f})"
-
-
-def _system_for(fault: Fault, base: SystemConfig) -> SystemConfig:
-    protocol = fault.protocol
-    if protocol == "ANY":
-        return base
-    return base.with_protocol(protocol)
+    A :class:`repro.harness.parallel.CampaignSummary` keyed by generator
+    kind, test-memory size and fault — the aggregation (found counts,
+    evaluations-to-find statistics, cell labels) lives in the summary.
+    """
 
 
 class BugCoverageExperiment:
@@ -103,26 +77,40 @@ class BugCoverageExperiment:
         ]
         self.cells: list[BugCoverageCell] = []
 
-    def run(self) -> list[BugCoverageCell]:
-        self.cells = []
+    def campaign_matrix(self) -> tuple[list[BugCoverageCell], list[CampaignSpec]]:
+        """The (generator x bug x sample) shard matrix and its result cells.
+
+        Shard ``i`` of the returned spec list belongs to cell
+        ``i // samples``; seeds are a pure function of matrix position, so
+        the matrix is identical however it is scheduled.
+        """
+        cells: list[BugCoverageCell] = []
+        specs: list[CampaignSpec] = []
         for kind, memory_kib in self.configurations:
             settings = self.settings.with_memory(memory_kib)
             for fault in self.faults:
-                cell = BugCoverageCell(kind=kind, memory_kib=memory_kib,
-                                       fault=fault)
-                system_config = _system_for(fault, settings.system_config)
+                cells.append(BugCoverageCell(kind=kind, memory_kib=memory_kib,
+                                             fault=fault))
+                system_config = system_for_fault(fault, settings.system_config)
                 fault_offset = list(Fault).index(fault)
                 for sample in range(settings.samples):
-                    campaign = Campaign(
+                    specs.append(CampaignSpec(
                         kind=kind,
                         generator_config=settings.generator_config,
                         system_config=system_config,
-                        faults=FaultSet.of(fault),
-                        seed=settings.seed + 1000 * sample + 37 * fault_offset)
-                    cell.results.append(campaign.run(
-                        settings.max_evaluations,
-                        settings.time_limit_seconds))
-                self.cells.append(cell)
+                        fault=fault,
+                        seed=settings.seed + 1000 * sample + 37 * fault_offset,
+                        max_evaluations=settings.max_evaluations,
+                        time_limit_seconds=settings.time_limit_seconds))
+        return cells, specs
+
+    def run(self) -> list[BugCoverageCell]:
+        cells, specs = self.campaign_matrix()
+        report = run_campaigns(specs, workers=self.settings.workers)
+        samples = self.settings.samples
+        for index, shard in enumerate(report.shards):
+            cells[index // samples].results.append(shard.result)
+        self.cells = cells
         return self.cells
 
     def table_rows(self) -> list[list[str]]:
@@ -200,23 +188,35 @@ class CoverageExperiment:
         ]
         self.results: dict[tuple[str, GeneratorKind, int], float] = {}
 
-    def run(self) -> dict[tuple[str, GeneratorKind, int], float]:
-        self.results = {}
+    def campaign_matrix(self) -> tuple[list[tuple[str, GeneratorKind, int]],
+                                       list[CampaignSpec]]:
+        """The (protocol x generator x sample) shard matrix and its cell keys."""
+        keys: list[tuple[str, GeneratorKind, int]] = []
+        specs: list[CampaignSpec] = []
         for protocol in self.protocols:
             for kind, memory_kib in self.configurations:
                 settings = self.settings.with_memory(memory_kib)
-                best = 0.0
+                keys.append((protocol, kind, memory_kib))
                 for sample in range(settings.samples):
-                    campaign = Campaign(
+                    specs.append(CampaignSpec(
                         kind=kind,
                         generator_config=settings.generator_config,
                         system_config=settings.system_config.with_protocol(protocol),
-                        faults=FaultSet.none(),
-                        seed=settings.seed + 7919 * sample)
-                    result = campaign.run(settings.max_evaluations,
-                                          settings.time_limit_seconds)
-                    best = max(best, result.total_coverage)
-                self.results[(protocol, kind, memory_kib)] = best
+                        fault=None,
+                        seed=settings.seed + 7919 * sample,
+                        max_evaluations=settings.max_evaluations,
+                        time_limit_seconds=settings.time_limit_seconds))
+        return keys, specs
+
+    def run(self) -> dict[tuple[str, GeneratorKind, int], float]:
+        keys, specs = self.campaign_matrix()
+        report = run_campaigns(specs, workers=self.settings.workers)
+        samples = self.settings.samples
+        self.results = {}
+        for index, shard in enumerate(report.shards):
+            key = keys[index // samples]
+            self.results[key] = max(self.results.get(key, 0.0),
+                                    shard.result.total_coverage)
         return self.results
 
     def table_rows(self) -> list[list[str]]:

@@ -1,0 +1,337 @@
+"""Parallel campaign orchestration (scaling the Table 4 methodology).
+
+The paper's headline claim is *fast* verification: wall-clock time to bug
+discovery across many generator/bug pairs.  Campaigns are embarrassingly
+parallel — each one owns its RNG, engine, system and coverage collector —
+so a matrix of (generator kind x fault x seed) campaigns can be sharded
+across a :mod:`multiprocessing` worker pool.
+
+Determinism guarantee
+---------------------
+Every shard is a fully self-contained :class:`CampaignSpec` whose seed is
+fixed *before* any worker runs: seeds derive from the shard's position in
+the matrix (:func:`derive_shard_seed`), never from the worker that happens
+to execute it.  Workers only change wall-clock time; ``workers=N`` produces
+bit-identical per-shard ``found``/``evaluations_to_find`` results to
+``workers=1``, and ``workers=1`` runs fully in-process (no pool, no
+pickling) so single-process debugging stays trivial.
+
+Coverage is collected per shard and folded back together on the host via
+:meth:`repro.sim.coverage.CoverageCollector.merge`, so aggregate coverage
+reports see the union of all shards' observations.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.core.campaign import Campaign, CampaignResult, GeneratorKind
+from repro.core.config import GeneratorConfig
+from repro.core.program import Chromosome
+from repro.sim.config import SystemConfig
+from repro.sim.coverage import CoverageCollector
+from repro.sim.faults import Fault, FaultSet
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+
+def derive_shard_seed(base_seed: int, shard_index: int) -> int:
+    """Deterministic, well-spread seed for shard ``shard_index``.
+
+    SplitMix64-style mixing: nearby (base_seed, index) pairs map to
+    uncorrelated 63-bit seeds, so shards never share RNG streams no matter
+    how the matrix is enumerated.  Pure function of its arguments — worker
+    assignment cannot influence it.
+    """
+    z = (base_seed + (shard_index + 1) * _GOLDEN_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) >> 1
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One shard of a campaign matrix: everything a worker needs, picklable.
+
+    With ``chromosome=None`` the shard runs an ordinary generator campaign
+    (:class:`repro.core.campaign.Campaign`).  With a chromosome set it is a
+    *directed* shard: the fixed test program is re-run on freshly perturbed
+    systems until the budget is exhausted or a bug is found (this is how the
+    directed stress scenarios of :mod:`repro.harness.scenarios` route
+    through the orchestrator).
+    """
+
+    kind: GeneratorKind
+    generator_config: GeneratorConfig
+    system_config: SystemConfig
+    fault: Fault | None
+    seed: int
+    max_evaluations: int
+    time_limit_seconds: float | None = None
+    chromosome: Chromosome | None = None
+    label: str = ""
+
+    def fault_set(self) -> FaultSet:
+        return FaultSet.of(self.fault) if self.fault is not None else FaultSet.none()
+
+    def describe(self) -> str:
+        bug = self.fault.paper_name if self.fault is not None else "correct"
+        name = self.label or self.kind.value
+        return f"{name} vs {bug} (seed {self.seed})"
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one shard plus the coverage it observed."""
+
+    spec: CampaignSpec
+    result: CampaignResult
+    coverage: CoverageCollector
+
+
+def run_shard(spec: CampaignSpec) -> ShardResult:
+    """Run one shard in the current process (the worker entry point)."""
+    campaign = Campaign(kind=spec.kind,
+                        generator_config=spec.generator_config,
+                        system_config=spec.system_config,
+                        faults=spec.fault_set(),
+                        seed=spec.seed,
+                        chromosome=spec.chromosome)
+    result = campaign.run(spec.max_evaluations, spec.time_limit_seconds)
+    return ShardResult(spec=spec, result=result, coverage=campaign.coverage)
+
+
+# ----------------------------------------------------------------------
+# Matrix construction
+
+
+def system_for_fault(fault: Fault | None, base: SystemConfig) -> SystemConfig:
+    """The system configuration a fault applies to.
+
+    Faults tied to a specific coherence protocol switch the base
+    configuration to that protocol; protocol-agnostic faults (and ``None``,
+    the correct system) leave it unchanged.
+    """
+    if fault is None or fault.protocol == "ANY":
+        return base
+    return base.with_protocol(fault.protocol)
+
+
+def campaign_matrix(kinds: list[GeneratorKind],
+                    faults: list[Fault | None],
+                    generator_config: GeneratorConfig,
+                    system_config: SystemConfig,
+                    max_evaluations: int,
+                    seeds_per_cell: int = 1,
+                    base_seed: int = 1,
+                    time_limit_seconds: float | None = None
+                    ) -> list[CampaignSpec]:
+    """Build the (kind x fault x seed) shard matrix of a Table-4-style sweep.
+
+    Each (kind, fault) cell gets ``seeds_per_cell`` shards whose seeds are
+    derived from ``base_seed`` and the shard's global matrix index, so the
+    matrix is identical however it is later scheduled.  A fault of ``None``
+    means the correct system (coverage sweeps).  Faults tied to a specific
+    protocol switch the system configuration to that protocol, mirroring
+    :class:`repro.harness.experiment.BugCoverageExperiment`.
+    """
+    specs: list[CampaignSpec] = []
+    index = 0
+    for kind in kinds:
+        for fault in faults:
+            config = system_for_fault(fault, system_config)
+            for _ in range(seeds_per_cell):
+                specs.append(CampaignSpec(
+                    kind=kind, generator_config=generator_config,
+                    system_config=config, fault=fault,
+                    seed=derive_shard_seed(base_seed, index),
+                    max_evaluations=max_evaluations,
+                    time_limit_seconds=time_limit_seconds))
+                index += 1
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Aggregation (Table-4-style summaries)
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of a non-empty sorted list."""
+    if not sorted_values:
+        raise ValueError("quantile of empty list")
+    rank = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate of all shards of one (kind, memory size, fault) cell."""
+
+    kind: GeneratorKind
+    fault: Fault | None
+    memory_kib: int = 0
+    protocol: str = ""
+    results: list[CampaignResult] = field(default_factory=list)
+
+    @property
+    def generator_label(self) -> str:
+        if self.memory_kib:
+            return f"{self.kind.value} ({self.memory_kib}KB)"
+        return self.kind.value
+
+    @property
+    def bug_label(self) -> str:
+        if self.fault is not None:
+            return self.fault.paper_name
+        return f"correct ({self.protocol})" if self.protocol else "correct"
+
+    @property
+    def samples(self) -> int:
+        return len(self.results)
+
+    @property
+    def found_count(self) -> int:
+        return sum(1 for result in self.results if result.found)
+
+    @property
+    def consistent(self) -> bool:
+        """Found in every sample (the bold entries of Table 4)."""
+        return self.samples > 0 and self.found_count == self.samples
+
+    def evaluations_to_find(self) -> list[int]:
+        return sorted(result.evaluations_to_find for result in self.results
+                      if result.evaluations_to_find is not None)
+
+    def evaluations_quantile(self, q: float) -> float | None:
+        values = self.evaluations_to_find()
+        if not values:
+            return None
+        return _quantile([float(value) for value in values], q)
+
+    @property
+    def mean_evaluations_to_find(self) -> float | None:
+        values = self.evaluations_to_find()
+        return mean(values) if values else None
+
+    @property
+    def sim_seconds(self) -> float:
+        return sum(result.sim_seconds for result in self.results)
+
+    @property
+    def check_seconds(self) -> float:
+        return sum(result.check_seconds for result in self.results)
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(result.wall_seconds for result in self.results)
+
+    def label(self) -> str:
+        """Table-4-style cell label: found count and mean evaluations."""
+        if self.found_count == 0:
+            return "NF"
+        return f"{self.found_count}/{self.samples} ({self.mean_evaluations_to_find:.1f})"
+
+
+@dataclass
+class SweepReport:
+    """Everything an orchestrated sweep produced."""
+
+    shards: list[ShardResult]
+    workers: int
+    wall_seconds: float
+    coverage: CoverageCollector
+
+    @property
+    def results(self) -> list[CampaignResult]:
+        return [shard.result for shard in self.shards]
+
+    @property
+    def found_count(self) -> int:
+        return sum(1 for shard in self.shards if shard.result.found)
+
+    def summaries(self) -> list[CampaignSummary]:
+        """One Table-4-style summary per (kind, memory, protocol, fault)
+        cell, in matrix order.  Test-memory size and coherence protocol are
+        part of the key because Table 4 distinguishes 1KB from 8KB
+        configurations and Table 6 sweeps the same generator over several
+        protocols."""
+        cells: dict[tuple[GeneratorKind, int, str, Fault | None],
+                    CampaignSummary] = {}
+        for shard in self.shards:
+            memory_kib = shard.spec.generator_config.memory.size_bytes // 1024
+            protocol = shard.spec.system_config.protocol
+            key = (shard.spec.kind, memory_kib, protocol, shard.spec.fault)
+            summary = cells.get(key)
+            if summary is None:
+                summary = cells[key] = CampaignSummary(kind=shard.spec.kind,
+                                                       fault=shard.spec.fault,
+                                                       memory_kib=memory_kib,
+                                                       protocol=protocol)
+            summary.results.append(shard.result)
+        return list(cells.values())
+
+    def table_headers(self) -> list[str]:
+        return ["Generator", "Bug", "Found", "Evals p50", "Evals p90",
+                "Sim s", "Check s"]
+
+    def table_rows(self) -> list[list[str]]:
+        rows = []
+        for summary in self.summaries():
+            p50 = summary.evaluations_quantile(0.5)
+            p90 = summary.evaluations_quantile(0.9)
+            rows.append([
+                summary.generator_label,
+                summary.bug_label,
+                summary.label(),
+                f"{p50:.0f}" if p50 is not None else "-",
+                f"{p90:.0f}" if p90 is not None else "-",
+                f"{summary.sim_seconds:.2f}",
+                f"{summary.check_seconds:.2f}",
+            ])
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+
+
+def default_workers() -> int:
+    """Worker count matched to the CPUs this process may actually use."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return max(1, os.cpu_count() or 1)
+
+
+def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
+                  mp_context: str | None = None,
+                  chunksize: int = 1) -> SweepReport:
+    """Run a shard matrix, optionally across a worker pool.
+
+    ``workers=1`` executes every shard in-process, in matrix order, with no
+    multiprocessing machinery at all — the reproducible serial fallback.
+    ``workers>1`` shards the matrix across a pool; ``pool.map`` preserves
+    matrix order, and every shard's seed is already fixed inside its spec,
+    so the per-shard results are identical to the serial run.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    started = time.perf_counter()
+    if workers == 1 or len(specs) <= 1:
+        shards = [run_shard(spec) for spec in specs]
+    else:
+        context = multiprocessing.get_context(mp_context)
+        processes = min(workers, len(specs))
+        with context.Pool(processes=processes) as pool:
+            shards = pool.map(run_shard, specs, chunksize=chunksize)
+    coverage = CoverageCollector()
+    for shard in shards:
+        coverage.merge(shard.coverage)
+    return SweepReport(shards=shards, workers=workers,
+                       wall_seconds=time.perf_counter() - started,
+                       coverage=coverage)

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.parallel import SweepReport
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
@@ -31,3 +34,29 @@ def format_key_value(title: str, mapping: dict[str, str]) -> str:
     """Render a two-column key/value table (Tables 2 and 3)."""
     rows = [(key, value) for key, value in mapping.items()]
     return format_table(["Parameter", "Value"], rows, title=title)
+
+
+def format_sweep_report(report: "SweepReport",
+                        title: str = "Campaign sweep") -> str:
+    """Render an orchestrated sweep as a Table-4-style aggregate table.
+
+    One row per (generator, bug) cell: bugs found, evaluations-to-find
+    quantiles and sim/check seconds, followed by a footer with the sweep's
+    worker count, wall-clock time and merged total coverage.
+    """
+    table = format_table(report.table_headers(), report.table_rows(),
+                         title=title)
+    footer = (f"shards={len(report.shards)} workers={report.workers} "
+              f"wall={report.wall_seconds:.2f}s "
+              f"bugs_found={report.found_count} "
+              f"total_coverage={report.coverage.total_coverage():.1%}")
+    return f"{table}\n{footer}"
+
+
+def format_speedup(serial_seconds: float, parallel_seconds: float,
+                   workers: int) -> str:
+    """One-line scaling summary for the parallel-orchestration benchmarks."""
+    speedup = (serial_seconds / parallel_seconds
+               if parallel_seconds > 0 else float("inf"))
+    return (f"serial {serial_seconds:.2f}s -> {workers} workers "
+            f"{parallel_seconds:.2f}s ({speedup:.2f}x)")

@@ -18,12 +18,17 @@ they run through the ordinary verification engine.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from repro.core.campaign import GeneratorKind
 from repro.core.config import GeneratorConfig
 from repro.core.program import Chromosome, make_chromosome
 from repro.sim.config import SystemConfig, TestMemoryLayout
 from repro.sim.faults import Fault
 from repro.sim.testprogram import OpKind, TestOp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.harness.parallel import CampaignSpec, SweepReport
 
 
 @dataclass(frozen=True)
@@ -233,6 +238,57 @@ def _tso_cc_scenario(fault: Fault, rounds: int = 16) -> Scenario:
                     system_config=SystemConfig(num_cores=2, protocol="TSO_CC"),
                     generator_config=config,
                     description="MP hammer across timestamp groups and epochs")
+
+
+def scenario_specs(faults: list[Fault] | None = None,
+                   seeds_per_scenario: int = 1,
+                   base_seed: int = 1,
+                   max_test_runs: int = 6,
+                   time_limit_seconds: float | None = None
+                   ) -> list["CampaignSpec"]:
+    """The directed-scenario shard matrix for the parallel orchestrator.
+
+    One shard per (scenario, seed): the scenario's fixed chromosome is
+    re-run on freshly perturbed fault-injected systems until a bug is found
+    or ``max_test_runs`` test-runs elapse.  Seeds derive from the shard's
+    matrix position (see :func:`repro.harness.parallel.derive_shard_seed`),
+    so the matrix is identical for any worker count.
+    """
+    from repro.harness.parallel import CampaignSpec, derive_shard_seed
+
+    specs: list[CampaignSpec] = []
+    index = 0
+    for fault in (faults if faults is not None else list(Fault)):
+        scenario = scenario_for(fault)
+        for _ in range(seeds_per_scenario):
+            specs.append(CampaignSpec(
+                kind=GeneratorKind.DIRECTED,
+                generator_config=scenario.generator_config,
+                system_config=scenario.system_config,
+                fault=fault,
+                seed=derive_shard_seed(base_seed, index),
+                max_evaluations=max_test_runs,
+                time_limit_seconds=time_limit_seconds,
+                chromosome=scenario.chromosome,
+                label=f"scenario:{fault.paper_name}"))
+            index += 1
+    return specs
+
+
+def run_scenario_sweep(faults: list[Fault] | None = None,
+                       seeds_per_scenario: int = 1,
+                       base_seed: int = 1,
+                       max_test_runs: int = 6,
+                       time_limit_seconds: float | None = None,
+                       workers: int = 1) -> "SweepReport":
+    """Run the directed scenarios through the parallel orchestrator."""
+    from repro.harness.parallel import run_campaigns
+
+    specs = scenario_specs(faults=faults,
+                           seeds_per_scenario=seeds_per_scenario,
+                           base_seed=base_seed, max_test_runs=max_test_runs,
+                           time_limit_seconds=time_limit_seconds)
+    return run_campaigns(specs, workers=workers)
 
 
 def scenario_for(fault: Fault) -> Scenario:

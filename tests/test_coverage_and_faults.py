@@ -53,6 +53,55 @@ class TestCoverageCollector:
         first.merge(second)
         assert len(first.covered_transitions) == 2
 
+    def test_merge_disjoint_round_trip(self):
+        # Merging per-worker collectors must reproduce the collector a
+        # single serial run would have built (the parallel harness relies
+        # on this).
+        serial = CoverageCollector()
+        first = CoverageCollector()
+        second = CoverageCollector()
+        for collector in (serial, first):
+            collector.record("L1", "I", "Load")
+            collector.record("L1", "I", "Load")
+        for collector in (serial, second):
+            collector.record("L2", "MT", "Recall")
+        first.merge(second)
+        assert first.global_counts == serial.global_counts
+        assert first.known_transitions == serial.known_transitions
+        assert first.total_coverage() == serial.total_coverage()
+
+    def test_merge_overlapping_sums_counts(self):
+        first = CoverageCollector()
+        second = CoverageCollector()
+        for _ in range(3):
+            first.record("L1", "I", "Load")
+        for _ in range(2):
+            second.record("L1", "I", "Load")
+        second.record("L1", "S", "Inv")
+        first.merge(second)
+        assert first.global_counts[TransitionKey("L1", "I", "Load")] == 5
+        assert first.global_counts[TransitionKey("L1", "S", "Inv")] == 1
+        assert len(first.known_transitions) == 2
+
+    def test_merge_preserves_declared_transitions_in_total_coverage(self):
+        first = CoverageCollector()
+        second = CoverageCollector()
+        first.declare([TransitionKey("L2", "MT", "Recall"),
+                       TransitionKey("L1", "I", "Load")])
+        second.record("L1", "I", "Load")
+        first.merge(second)
+        # One of two known transitions covered.
+        assert first.total_coverage() == 0.5
+
+    def test_merge_does_not_leak_run_state(self):
+        first = CoverageCollector()
+        second = CoverageCollector()
+        second.record("L1", "S", "Inv")
+        first.begin_run()
+        first.merge(second)
+        # merge folds global observations, not the other side's per-run set.
+        assert first.run_transitions() == frozenset()
+
     def test_empty_collector_coverage_is_zero(self):
         assert CoverageCollector().total_coverage() == 0.0
 

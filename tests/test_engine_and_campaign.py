@@ -49,6 +49,42 @@ class TestVerificationEngine:
                 break
         assert found
 
+    def test_fitness_sees_pre_run_rare_snapshot(self):
+        # Regression: the rare set must be snapshotted before the run folds
+        # its transitions into the global counts, otherwise a test that
+        # pushes a rare transition past the cutoff self-penalises.
+        from repro.core.fitness import AdaptiveCoverageFitness
+        from repro.sim.coverage import CoverageCollector
+
+        class SpyFitness(AdaptiveCoverageFitness):
+            def __init__(self, coverage):
+                super().__init__(coverage)
+                self.counts_at_snapshot = None
+                self.snapshot = None
+                self.rare_at_evaluate = None
+
+            def pre_run_rare(self):
+                self.counts_at_snapshot = dict(self.coverage.global_counts)
+                self.snapshot = super().pre_run_rare()
+                return self.snapshot
+
+            def evaluate(self, run_transitions, ndt=0.0, rare=None):
+                self.rare_at_evaluate = rare
+                return super().evaluate(run_transitions, ndt=ndt, rare=rare)
+
+        config = tiny_config()
+        coverage = CoverageCollector()
+        fitness = SpyFitness(coverage)
+        engine = VerificationEngine(config, SystemConfig(), coverage=coverage,
+                                    fitness=fitness, seed=5)
+        generator = RandomTestGenerator(config, random.Random(5))
+        engine.run_test(generator.generate())
+        # The snapshot was taken before any of this run's transitions were
+        # recorded, and evaluate() received exactly that snapshot.
+        assert fitness.counts_at_snapshot == {}
+        assert fitness.rare_at_evaluate == fitness.snapshot
+        assert coverage.global_counts  # the run did record transitions
+
     def test_coverage_accumulates_across_runs(self):
         config = tiny_config()
         engine = VerificationEngine(config, SystemConfig(), seed=6)

@@ -69,6 +69,42 @@ class TestAdaptiveCoverageFitness:
         fitness = AdaptiveCoverageFitness(CoverageCollector())
         assert fitness.evaluate(frozenset()).fitness == 0.0
 
+    def test_pre_run_snapshot_keeps_self_pushed_transitions_rare(self):
+        # Regression: the engine evaluates fitness *after* a run's
+        # transitions were folded into the global counts.  A test that
+        # itself pushes a rare transition past the cut-off must still be
+        # rewarded, so the engine snapshots the rare set pre-run and passes
+        # it into evaluate().
+        coverage = CoverageCollector()
+        record_all(coverage, ["edge"], times=3)   # just below cutoff 4
+        fitness = AdaptiveCoverageFitness(coverage, initial_cutoff=4)
+        snapshot = fitness.pre_run_rare()
+        assert transitions("edge") <= snapshot.rare
+        # The run covers "edge" and pushes its global count to the cutoff.
+        record_all(coverage, ["edge"], times=1)
+        assert transitions("edge").isdisjoint(
+            coverage.rare_transitions(fitness.cutoff))
+        with_snapshot = fitness.evaluate(transitions("edge"), rare=snapshot)
+        assert with_snapshot.fitness == pytest.approx(1.0)
+        assert with_snapshot.covered_rare == 1
+        # Without the snapshot the same run self-penalises to zero.
+        without_snapshot = fitness.evaluate(transitions("edge"))
+        assert without_snapshot.fitness == 0.0
+
+    def test_pre_run_snapshot_still_credits_novel_transitions(self):
+        # Transitions the run is the first ever to exercise are absent from
+        # the pre-run rare set, but they must count as rare — otherwise the
+        # first run of every campaign scores 0 and novelty is unrewarded.
+        coverage = CoverageCollector()
+        fitness = AdaptiveCoverageFitness(coverage, initial_cutoff=4)
+        snapshot = fitness.pre_run_rare()
+        assert snapshot.rare == frozenset() and snapshot.known == frozenset()
+        record_all(coverage, ["a", "b"])           # the run discovers a, b
+        report = fitness.evaluate(transitions("a", "b"), rare=snapshot)
+        assert report.fitness == pytest.approx(1.0)
+        assert report.covered_rare == 2
+        assert report.rare_transitions == 2
+
 
 class TestNdtAugmentedFitness:
     def test_combines_coverage_and_ndt(self):

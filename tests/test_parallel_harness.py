@@ -1,0 +1,256 @@
+"""Tests for the parallel campaign orchestrator (repro.harness.parallel)."""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignResult, GeneratorKind
+from repro.core.config import GeneratorConfig
+from repro.harness.experiment import (BugCoverageExperiment, CoverageExperiment,
+                                      ExperimentSettings)
+from repro.harness.parallel import (CampaignSpec, campaign_matrix,
+                                    default_workers, derive_shard_seed,
+                                    run_campaigns, run_shard)
+from repro.harness.reporting import format_speedup, format_sweep_report
+from repro.harness.scenarios import run_scenario_sweep, scenario_specs
+from repro.sim.config import SystemConfig
+from repro.sim.faults import Fault, FaultSet
+
+
+def tiny_config(memory_kib: int = 1) -> GeneratorConfig:
+    return GeneratorConfig.quick(memory_kib=memory_kib, test_size=32,
+                                 iterations=2, population_size=6)
+
+
+def tiny_matrix(faults, seeds_per_cell=2, max_evaluations=5,
+                kinds=(GeneratorKind.MCVERSI_RAND,)):
+    return campaign_matrix(kinds=list(kinds), faults=list(faults),
+                           generator_config=tiny_config(),
+                           system_config=SystemConfig(),
+                           max_evaluations=max_evaluations,
+                           seeds_per_cell=seeds_per_cell, base_seed=7)
+
+
+def outcomes(report):
+    return [(shard.result.found, shard.result.evaluations_to_find)
+            for shard in report.shards]
+
+
+class TestShardSeeds:
+    def test_derivation_is_deterministic(self):
+        assert derive_shard_seed(1, 0) == derive_shard_seed(1, 0)
+        assert derive_shard_seed(1, 0) != derive_shard_seed(1, 1)
+        assert derive_shard_seed(1, 0) != derive_shard_seed(2, 0)
+
+    def test_seeds_are_well_spread(self):
+        seeds = {derive_shard_seed(5, index) for index in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_matrix_seeds_independent_of_scheduling(self):
+        first = tiny_matrix([Fault.SQ_NO_FIFO, None])
+        second = tiny_matrix([Fault.SQ_NO_FIFO, None])
+        assert [spec.seed for spec in first] == [spec.seed for spec in second]
+
+    def test_matrix_switches_protocol_for_fault(self):
+        specs = tiny_matrix([Fault.TSOCC_COMPARE, Fault.SQ_NO_FIFO])
+        assert specs[0].system_config.protocol == "TSO_CC"
+        assert specs[-1].system_config.protocol == SystemConfig().protocol
+
+
+class TestOrchestrator:
+    def test_serial_run_matches_direct_campaign(self):
+        spec = tiny_matrix([Fault.SQ_NO_FIFO], seeds_per_cell=1)[0]
+        campaign = Campaign(kind=spec.kind,
+                            generator_config=spec.generator_config,
+                            system_config=spec.system_config,
+                            faults=FaultSet.of(Fault.SQ_NO_FIFO),
+                            seed=spec.seed)
+        direct = campaign.run(spec.max_evaluations)
+        report = run_campaigns([spec], workers=1)
+        assert outcomes(report) == [(direct.found, direct.evaluations_to_find)]
+        assert report.shards[0].result.evaluations == direct.evaluations
+
+    def test_parallel_matches_serial(self):
+        specs = tiny_matrix([Fault.SQ_NO_FIFO, None])
+        serial = run_campaigns(specs, workers=1)
+        parallel = run_campaigns(specs, workers=2)
+        assert outcomes(serial) == outcomes(parallel)
+        assert serial.coverage.global_counts == parallel.coverage.global_counts
+        assert serial.workers == 1 and parallel.workers == 2
+
+    def test_merged_coverage_equals_per_shard_merge(self):
+        specs = tiny_matrix([None], seeds_per_cell=2)
+        report = run_campaigns(specs, workers=1)
+        from repro.sim.coverage import CoverageCollector
+        merged = CoverageCollector()
+        for shard in report.shards:
+            merged.merge(shard.coverage)
+        assert merged.global_counts == report.coverage.global_counts
+        assert report.coverage.total_coverage() > 0.0
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_campaigns([], workers=0)
+
+    def test_empty_matrix(self):
+        report = run_campaigns([], workers=1)
+        assert report.shards == [] and report.found_count == 0
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestSweepReport:
+    def test_summaries_group_by_cell(self):
+        specs = tiny_matrix([Fault.SQ_NO_FIFO, None], seeds_per_cell=2,
+                            max_evaluations=8)
+        report = run_campaigns(specs, workers=1)
+        summaries = report.summaries()
+        assert len(summaries) == 2
+        assert all(summary.samples == 2 for summary in summaries)
+        buggy = summaries[0]
+        assert buggy.fault is Fault.SQ_NO_FIFO
+        assert buggy.found_count >= 1
+        assert buggy.evaluations_quantile(0.5) is not None
+        correct = summaries[1]
+        assert correct.fault is None and correct.found_count == 0
+        assert correct.label() == "NF"
+        assert correct.evaluations_quantile(0.9) is None
+
+    def test_summaries_distinguish_memory_sizes(self):
+        # Table 4 separates 1KB from 8KB configurations of one generator;
+        # summaries must not conflate them.
+        specs = []
+        for memory_kib in (1, 8):
+            specs.extend(campaign_matrix(
+                kinds=[GeneratorKind.MCVERSI_RAND], faults=[None],
+                generator_config=tiny_config(memory_kib),
+                system_config=SystemConfig(), max_evaluations=2,
+                seeds_per_cell=1, base_seed=3))
+        report = run_campaigns(specs, workers=1)
+        summaries = report.summaries()
+        assert len(summaries) == 2
+        assert [summary.memory_kib for summary in summaries] == [1, 8]
+        assert summaries[0].generator_label == "McVerSi-RAND (1KB)"
+
+    def test_summaries_distinguish_protocols(self):
+        # Table 6 sweeps one generator over several protocols on the
+        # correct system; summaries must not conflate them.
+        specs = []
+        for protocol in ("MESI", "TSO_CC"):
+            specs.append(CampaignSpec(
+                kind=GeneratorKind.MCVERSI_RAND,
+                generator_config=tiny_config(),
+                system_config=SystemConfig().with_protocol(protocol),
+                fault=None, seed=3, max_evaluations=2))
+        report = run_campaigns(specs, workers=1)
+        summaries = report.summaries()
+        assert len(summaries) == 2
+        assert [summary.protocol for summary in summaries] == ["MESI", "TSO_CC"]
+        assert summaries[1].bug_label == "correct (TSO_CC)"
+
+    def test_formatting(self):
+        specs = tiny_matrix([Fault.SQ_NO_FIFO], seeds_per_cell=1,
+                            max_evaluations=6)
+        report = run_campaigns(specs, workers=1)
+        text = format_sweep_report(report, title="T")
+        assert "T" in text and "SQ+no-FIFO" in text and "workers=1" in text
+        assert "2.00x" in format_speedup(4.0, 2.0, 2)
+
+    def test_spec_describe(self):
+        spec = tiny_matrix([Fault.SQ_NO_FIFO], seeds_per_cell=1)[0]
+        assert "SQ+no-FIFO" in spec.describe()
+        assert str(spec.seed) in spec.describe()
+
+
+class TestExperimentsThroughOrchestrator:
+    def _settings(self, workers: int) -> ExperimentSettings:
+        return ExperimentSettings(generator_config=tiny_config(),
+                                  system_config=SystemConfig(),
+                                  samples=2, max_evaluations=4, seed=5,
+                                  workers=workers)
+
+    def test_bug_coverage_experiment_parallel_matches_serial(self):
+        faults = [Fault.SQ_NO_FIFO]
+        configurations = [(GeneratorKind.MCVERSI_RAND, 1)]
+        serial = BugCoverageExperiment(self._settings(1), faults=faults,
+                                       configurations=configurations)
+        parallel = BugCoverageExperiment(self._settings(2), faults=faults,
+                                         configurations=configurations)
+        serial_cells = serial.run()
+        parallel_cells = parallel.run()
+        for ours, theirs in zip(serial_cells, parallel_cells):
+            assert [r.found for r in ours.results] == [r.found
+                                                       for r in theirs.results]
+            assert ([r.evaluations_to_find for r in ours.results]
+                    == [r.evaluations_to_find for r in theirs.results])
+
+    def test_coverage_experiment_parallel_matches_serial(self):
+        configurations = [(GeneratorKind.MCVERSI_RAND, 1)]
+        serial = CoverageExperiment(self._settings(1), protocols=("MESI",),
+                                    configurations=configurations)
+        parallel = CoverageExperiment(self._settings(2), protocols=("MESI",),
+                                      configurations=configurations)
+        assert serial.run() == parallel.run()
+
+
+class TestDirectedScenarioShards:
+    def test_scenario_specs_carry_chromosomes(self):
+        specs = scenario_specs(faults=[Fault.SQ_NO_FIFO], seeds_per_scenario=2)
+        assert len(specs) == 2
+        assert all(spec.chromosome is not None for spec in specs)
+        assert all(spec.kind is GeneratorKind.DIRECTED for spec in specs)
+        assert specs[0].seed != specs[1].seed
+
+    def test_sweep_finds_injected_bug(self):
+        report = run_scenario_sweep(faults=[Fault.SQ_NO_FIFO], max_test_runs=5,
+                                    workers=1)
+        assert report.found_count == 1
+        result = report.shards[0].result
+        assert result.evaluations_to_find is not None
+        assert result.detail
+
+    def test_sweep_parallel_matches_serial(self):
+        faults = [Fault.SQ_NO_FIFO, Fault.LQ_NO_TSO]
+        serial = run_scenario_sweep(faults=faults, max_test_runs=3, workers=1)
+        parallel = run_scenario_sweep(faults=faults, max_test_runs=3, workers=2)
+        assert outcomes(serial) == outcomes(parallel)
+
+    def test_directed_shard_on_correct_system_finds_nothing(self):
+        spec = scenario_specs(faults=[Fault.SQ_NO_FIFO])[0]
+        clean = CampaignSpec(kind=spec.kind,
+                             generator_config=spec.generator_config,
+                             system_config=spec.system_config, fault=None,
+                             seed=spec.seed, max_evaluations=3,
+                             chromosome=spec.chromosome)
+        shard = run_shard(clean)
+        assert not shard.result.found
+        assert shard.result.evaluations == 3
+
+    def test_directed_campaign_requires_chromosome(self):
+        with pytest.raises(ValueError):
+            Campaign(GeneratorKind.DIRECTED, tiny_config(),
+                     SystemConfig()).run(max_evaluations=1)
+
+    def test_directed_campaign_runs_fixed_chromosome(self):
+        spec = scenario_specs(faults=[Fault.SQ_NO_FIFO])[0]
+        campaign = Campaign(GeneratorKind.DIRECTED, spec.generator_config,
+                            spec.system_config, faults=FaultSet.of(Fault.SQ_NO_FIFO),
+                            seed=spec.seed, chromosome=spec.chromosome)
+        result = campaign.run(max_evaluations=5)
+        assert result.found and result.kind is GeneratorKind.DIRECTED
+
+
+class TestCampaignResultRegressions:
+    def test_found_within_zero_is_not_never_found(self):
+        # Regression: truthiness (`if self.evaluations_to_find`) mapped a
+        # find at evaluation 0 to the "never found" sentinel.
+        result = CampaignResult(kind=GeneratorKind.MCVERSI_RAND, found=True,
+                                evaluations=1, evaluations_to_find=0,
+                                wall_seconds=0.0)
+        assert result.found_within == 0
+
+    def test_found_within_none_is_sentinel(self):
+        result = CampaignResult(kind=GeneratorKind.MCVERSI_RAND, found=False,
+                                evaluations=1, evaluations_to_find=None,
+                                wall_seconds=0.0)
+        assert result.found_within == CampaignResult.NEVER_FOUND
+        assert result.found_within > 10**6
