@@ -15,7 +15,6 @@ import random
 
 from benchmarks.conftest import bench_generator_config
 from repro.core.campaign import Campaign, GeneratorKind
-from repro.core.config import GeneratorConfig
 from repro.core.engine import VerificationEngine
 from repro.core.fitness import AdaptiveCoverageFitness
 from repro.core.generator import RandomTestGenerator

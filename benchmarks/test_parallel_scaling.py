@@ -1,20 +1,33 @@
 """Scaling of the parallel campaign orchestrator (the "fast" in McVerSi).
 
-An 8-seed Table-4-style sweep is run serially and on a 4-worker pool.
-Campaigns are embarrassingly parallel, so on a host with >= 4 usable CPUs
-the pool should finish the sweep at least ~2x faster; per-shard results are
-bit-identical regardless of the worker count (seeds are derived from the
-matrix position, never the worker).
+Two Table-4-style sweeps are measured:
 
-The determinism assertion always runs.  The wall-clock speedup assertion
-only runs when the host actually exposes enough CPUs to this process —
-asserting parallel speedup on a single-core container would measure
-scheduler noise, not the orchestrator — and can be relaxed to a skip with
-``REPRO_STRICT_SCALING=0`` on noisy shared CI runners where co-tenant
-contention makes wall-clock ratios unreliable.
+* a *homogeneous* 8-seed sweep, run serially and on the 4-worker
+  work-stealing pool — campaigns are embarrassingly parallel, so on a host
+  with >= 4 usable CPUs the pool should finish at least ~2x faster;
+* a *heterogeneous* sweep (mixed ``max_evaluations``: a few long shards
+  among many short ones), run serially, on the work-stealing scheduler
+  with chunked campaigns, and on the static scheduler — the work-stealing
+  pool should beat the static partition, which idles every worker behind
+  the block that drew the long shards.
+
+Per-shard results are bit-identical regardless of scheduler, worker count
+or chunking (seeds derive from the matrix position and checkpoints carry
+all cross-evaluation state); the determinism assertions always run.  The
+wall-clock assertions only run when the host actually exposes enough CPUs
+to this process — asserting parallel speedup on a single-core container
+would measure scheduler noise, not the orchestrator — and can be relaxed
+to a skip with ``REPRO_STRICT_SCALING=0`` on noisy shared CI runners.
+
+Set ``REPRO_BENCH_JSON=/path/to/BENCH_parallel.json`` to dump the measured
+wall-clock numbers as JSON (CI uploads this as an artifact on every push
+to main, so the perf trajectory is tracked across commits).
 """
 
+import json
 import os
+import platform
+from dataclasses import replace
 
 import pytest
 
@@ -28,6 +41,11 @@ from repro.sim.faults import Fault
 
 WORKERS = 4
 SEEDS = 8
+CHUNK_EVALUATIONS = 4
+#: Per-shard budgets of the heterogeneous sweep: two stragglers in front
+#: (exactly where a contiguous static partition hurts most) among short
+#: shards.
+HETERO_BUDGETS = (36, 36, 6, 6, 6, 6, 6, 6)
 
 
 def _sweep_specs():
@@ -41,6 +59,34 @@ def _sweep_specs():
         base_seed=42)
 
 
+def _hetero_specs():
+    specs = campaign_matrix(
+        kinds=[GeneratorKind.MCVERSI_RAND],
+        faults=[None],
+        generator_config=bench_generator_config(memory_kib=1),
+        system_config=SystemConfig(),
+        max_evaluations=1,
+        seeds_per_cell=len(HETERO_BUDGETS),
+        base_seed=7)
+    return [replace(spec, max_evaluations=budget)
+            for spec, budget in zip(specs, HETERO_BUDGETS)]
+
+
+def _outcomes(report):
+    return [(shard.result.found, shard.result.evaluations_to_find)
+            for shard in report.shards]
+
+
+def _scaling_assertions_enabled(reason: str) -> bool:
+    if default_workers() < WORKERS:
+        pytest.skip(f"host exposes {default_workers()} CPU(s); "
+                    f"need {WORKERS} to assert {reason}")
+    if os.environ.get("REPRO_STRICT_SCALING", "1") == "0":
+        pytest.skip(f"wall-clock {reason} assertion disabled "
+                    "(REPRO_STRICT_SCALING=0)")
+    return True
+
+
 @pytest.fixture(scope="module")
 def sweeps():
     specs = _sweep_specs()
@@ -49,13 +95,19 @@ def sweeps():
     return serial, parallel
 
 
+@pytest.fixture(scope="module")
+def hetero_sweeps():
+    specs = _hetero_specs()
+    serial = run_campaigns(specs, workers=1)
+    stealing = run_campaigns(specs, workers=WORKERS,
+                             chunk_evaluations=CHUNK_EVALUATIONS)
+    static = run_campaigns(specs, workers=WORKERS, scheduler="static")
+    return serial, stealing, static
+
+
 def test_parallel_results_match_serial(sweeps, capsys):
     serial, parallel = sweeps
-    serial_outcomes = [(s.result.found, s.result.evaluations_to_find)
-                       for s in serial.shards]
-    parallel_outcomes = [(s.result.found, s.result.evaluations_to_find)
-                         for s in parallel.shards]
-    assert serial_outcomes == parallel_outcomes
+    assert _outcomes(serial) == _outcomes(parallel)
     assert serial.coverage.global_counts == parallel.coverage.global_counts
     assert (serial.coverage.known_transitions
             == parallel.coverage.known_transitions)
@@ -65,6 +117,13 @@ def test_parallel_results_match_serial(sweeps, capsys):
                                   title=f"8-seed sweep at workers={WORKERS}"))
 
 
+def test_heterogeneous_schedulers_match_serial(hetero_sweeps):
+    serial, stealing, static = hetero_sweeps
+    assert _outcomes(serial) == _outcomes(stealing)
+    assert _outcomes(serial) == _outcomes(static)
+    assert serial.coverage.global_counts == stealing.coverage.global_counts
+
+
 def test_parallel_speedup(sweeps, benchmark, capsys):
     serial, parallel = sweeps
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
@@ -72,12 +131,58 @@ def test_parallel_speedup(sweeps, benchmark, capsys):
         print()
         print(format_speedup(serial.wall_seconds, parallel.wall_seconds,
                              WORKERS))
-    if default_workers() < WORKERS:
-        pytest.skip(f"host exposes {default_workers()} CPU(s); "
-                    f"need {WORKERS} to assert wall-clock scaling")
-    if os.environ.get("REPRO_STRICT_SCALING", "1") == "0":
-        pytest.skip("wall-clock scaling assertion disabled "
-                    "(REPRO_STRICT_SCALING=0)")
-    assert parallel.wall_seconds < serial.wall_seconds / 2.0, (
-        "expected >= 2x speedup at 4 workers on an 8-seed sweep: "
-        + format_speedup(serial.wall_seconds, parallel.wall_seconds, WORKERS))
+    if _scaling_assertions_enabled("scaling"):
+        assert parallel.wall_seconds < serial.wall_seconds / 2.0, (
+            "expected >= 2x speedup at 4 workers on an 8-seed sweep: "
+            + format_speedup(serial.wall_seconds, parallel.wall_seconds,
+                             WORKERS))
+
+
+def test_work_stealing_beats_static(hetero_sweeps, benchmark, capsys):
+    serial, stealing, static = hetero_sweeps
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print("work-stealing: "
+              + format_speedup(serial.wall_seconds, stealing.wall_seconds,
+                               WORKERS))
+        print("static:        "
+              + format_speedup(serial.wall_seconds, static.wall_seconds,
+                               WORKERS))
+    if _scaling_assertions_enabled("work-stealing vs static"):
+        assert stealing.wall_seconds < static.wall_seconds, (
+            "work-stealing should beat the static partition on a "
+            "heterogeneous matrix: "
+            f"stealing={stealing.wall_seconds:.2f}s "
+            f"static={static.wall_seconds:.2f}s")
+
+
+def test_bench_json_artifact(sweeps, hetero_sweeps):
+    """Dump the measured numbers for CI's BENCH_parallel.json artifact."""
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        pytest.skip("REPRO_BENCH_JSON not set; no artifact requested")
+    serial, parallel = sweeps
+    hetero_serial, stealing, static = hetero_sweeps
+    payload = {
+        "python": platform.python_version(),
+        "workers": WORKERS,
+        "usable_cpus": default_workers(),
+        "homogeneous": {
+            "shards": len(serial.shards),
+            "serial_seconds": serial.wall_seconds,
+            "work_stealing_seconds": parallel.wall_seconds,
+        },
+        "heterogeneous": {
+            "shards": len(hetero_serial.shards),
+            "budgets": list(HETERO_BUDGETS),
+            "chunk_evaluations": CHUNK_EVALUATIONS,
+            "serial_seconds": hetero_serial.wall_seconds,
+            "work_stealing_seconds": stealing.wall_seconds,
+            "static_seconds": static.wall_seconds,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    assert os.path.exists(path)

@@ -1,27 +1,40 @@
 #!/usr/bin/env python3
 """Parallel campaign orchestration: a multi-seed Table-4 sweep on a pool.
 
-This example builds a (generator kind x fault x seed) campaign matrix,
-runs it once serially (``workers=1``) and once on a multiprocessing pool,
-and shows that
+This example builds a *heterogeneous* (generator kind x fault x seed)
+campaign matrix — some shards have a much larger evaluation budget than
+others, like a real Table-4 sweep where some generator/bug pairs find the
+bug quickly and others never do — and runs it three ways:
 
-1. the per-shard results (bug found, evaluations to find) are identical —
-   shard seeds derive from the matrix position, never the worker — and
-2. the per-worker coverage collectors fold back into one aggregate via
-   ``CoverageCollector.merge``, so the Table-4-style summary is the same.
+1. serially (``workers=1``), the reproducible reference;
+2. on the work-stealing scheduler with chunked campaigns and a streaming
+   ``on_result`` callback: workers pull shards (and resumable chunks of
+   long shards) from a shared queue, and each result is reported the
+   moment it completes, while other shards are still running;
+3. on the static scheduler, which partitions the matrix up front and pays
+   a straggler tax on the long shards.
+
+All three produce bit-identical per-shard results — shard seeds derive
+from the matrix position, never the worker, and campaign checkpoints
+carry all cross-evaluation state — so scheduling only changes wall-clock
+time.
 
 Run with:  python examples/parallel_campaigns.py
 """
 
+from dataclasses import replace
+
 from repro.core.campaign import GeneratorKind
 from repro.core.config import GeneratorConfig
-from repro.harness.parallel import campaign_matrix, default_workers, run_campaigns
+from repro.harness.parallel import (campaign_matrix, default_workers,
+                                    run_campaigns)
 from repro.harness.reporting import format_speedup, format_sweep_report
 from repro.sim.config import SystemConfig
 from repro.sim.faults import Fault
 
 
-def main() -> None:
+def heterogeneous_matrix():
+    """A Table-4-style matrix with mixed per-shard evaluation budgets."""
     generator_config = GeneratorConfig.quick(memory_kib=1, test_size=48,
                                              iterations=3, population_size=8)
     specs = campaign_matrix(
@@ -29,29 +42,51 @@ def main() -> None:
         faults=[Fault.SQ_NO_FIFO, Fault.LQ_NO_TSO],
         generator_config=generator_config,
         system_config=SystemConfig(),
-        max_evaluations=12,
+        max_evaluations=6,
         seeds_per_cell=4,
         base_seed=2016)
+    # Every third shard gets a 4x budget: the heterogeneity that makes
+    # static scheduling idle behind its longest worker.
+    return [replace(spec, max_evaluations=24) if index % 3 == 0 else spec
+            for index, spec in enumerate(specs)]
+
+
+def main() -> None:
+    specs = heterogeneous_matrix()
+    budgets = sorted({spec.max_evaluations for spec in specs})
     print(f"campaign matrix: {len(specs)} shards "
-          f"(2 generators x 2 bugs x 4 seeds)\n")
+          f"(2 generators x 2 bugs x 4 seeds, budgets {budgets})\n")
 
     serial = run_campaigns(specs, workers=1)
     workers = max(2, min(4, default_workers()))
-    parallel = run_campaigns(specs, workers=workers)
 
-    print(format_sweep_report(parallel, title="Table-4-style sweep"))
+    print(f"work-stealing sweep at workers={workers} "
+          f"(chunked, streaming results):")
+    stealing = run_campaigns(
+        specs, workers=workers, chunk_evaluations=6,
+        on_result=lambda shard: print(
+            f"  done: {shard.spec.describe():45s} "
+            f"found={shard.result.found}"))
+    static = run_campaigns(specs, workers=workers, scheduler="static")
+
     print()
-    print(format_speedup(serial.wall_seconds, parallel.wall_seconds, workers))
+    print(format_sweep_report(stealing, title="Table-4-style sweep"))
+    print()
+    print("work-stealing: "
+          + format_speedup(serial.wall_seconds, stealing.wall_seconds, workers))
+    print("static:        "
+          + format_speedup(serial.wall_seconds, static.wall_seconds, workers))
 
-    mismatches = [
-        shard.spec.describe()
-        for shard, other in zip(serial.shards, parallel.shards)
-        if (shard.result.found, shard.result.evaluations_to_find)
-        != (other.result.found, other.result.evaluations_to_find)]
-    if mismatches:
-        raise SystemExit(f"determinism violated for: {mismatches}")
-    print(f"determinism: all {len(specs)} shards identical at workers=1 "
-          f"and workers={workers}")
+    for name, report in (("work-stealing", stealing), ("static", static)):
+        mismatches = [
+            shard.spec.describe()
+            for shard, other in zip(serial.shards, report.shards)
+            if (shard.result.found, shard.result.evaluations_to_find)
+            != (other.result.found, other.result.evaluations_to_find)]
+        if mismatches:
+            raise SystemExit(f"{name} determinism violated for: {mismatches}")
+    print(f"determinism: all {len(specs)} shards identical at workers=1, "
+          f"work-stealing and static workers={workers}")
 
 
 if __name__ == "__main__":

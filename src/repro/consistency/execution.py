@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.consistency.events import (Event, EventKind, init_write, read_event,
+from repro.consistency.events import (Event, init_write, read_event,
                                       write_event)
 from repro.consistency.relations import Relation
 from repro.sim.testprogram import OpKind, TestThread

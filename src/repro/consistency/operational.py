@@ -16,7 +16,6 @@ litmus size (a handful of operations per thread).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
 
 from repro.sim.testprogram import OpKind, TestThread
 

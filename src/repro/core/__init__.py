@@ -23,8 +23,9 @@ from repro.core.nondeterminism import TestRunStats
 from repro.core.crossover import selective_crossover_mutate, single_point_crossover
 from repro.core.fitness import AdaptiveCoverageFitness, NdtAugmentedFitness
 from repro.core.population import Individual, SteadyStateGA
-from repro.core.engine import TestRunResult, VerificationEngine
-from repro.core.campaign import Campaign, CampaignResult, GeneratorKind
+from repro.core.engine import EngineCheckpoint, TestRunResult, VerificationEngine
+from repro.core.campaign import (Campaign, CampaignCheckpoint, CampaignResult,
+                                 GeneratorKind)
 
 __all__ = [
     "GeneratorConfig",
@@ -38,9 +39,11 @@ __all__ = [
     "NdtAugmentedFitness",
     "Individual",
     "SteadyStateGA",
+    "EngineCheckpoint",
     "TestRunResult",
     "VerificationEngine",
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignResult",
     "GeneratorKind",
 ]

@@ -6,6 +6,15 @@ mirroring the generator/bug pairs of paper Table 4.  GP campaigns maintain a
 steady-state population (tournament selection, delete-oldest replacement);
 the pseudo-random campaign evaluates fresh random tests; the litmus campaign
 cycles through the diy corpus.
+
+Campaigns are *resumable*: :meth:`Campaign.run_chunk` executes a bounded
+number of evaluations and returns a picklable :class:`CampaignCheckpoint`
+(engine RNG + coverage + fitness counters, campaign RNG, GP population)
+from which a fresh :class:`Campaign` — possibly in another process — can
+continue the run bit-for-bit identically to an uninterrupted one.  This is
+what lets the work-stealing scheduler of :mod:`repro.harness.parallel`
+split long campaigns into chunks and reschedule them on any worker without
+breaking the ``workers=1`` ≡ ``workers=N`` determinism guarantee.
 """
 
 from __future__ import annotations
@@ -19,10 +28,10 @@ from typing import ClassVar
 from repro.consistency.models import MemoryModel, TotalStoreOrder
 from repro.core.config import GeneratorConfig
 from repro.core.crossover import selective_crossover_mutate, single_point_crossover
-from repro.core.engine import TestRunResult, VerificationEngine
+from repro.core.engine import EngineCheckpoint, TestRunResult, VerificationEngine
 from repro.core.fitness import AdaptiveCoverageFitness, NdtAugmentedFitness
 from repro.core.generator import RandomTestGenerator
-from repro.core.population import SteadyStateGA
+from repro.core.population import Individual, SteadyStateGA
 from repro.core.program import Chromosome
 from repro.sim.config import SystemConfig
 from repro.sim.coverage import CoverageCollector
@@ -76,6 +85,37 @@ class CampaignResult:
         return self.evaluations_to_find
 
 
+@dataclass
+class CampaignCheckpoint:
+    """Picklable mid-campaign state, taken between two evaluations.
+
+    Everything a campaign accumulates across evaluations lives here: the
+    engine checkpoint (per-run seed sequence, cumulative coverage, adaptive
+    fitness counters), the campaign RNG state (shared by the generator, the
+    GA's tournament selection and the crossover operators), the bookkeeping
+    counters, and — for GP campaigns — the steady-state population itself.
+    ``kind`` and ``seed`` identify the campaign the checkpoint belongs to so
+    a scheduler cannot accidentally resume it on the wrong shard.
+
+    Checkpoint size grows with campaign progress (``ndt_history`` is one
+    float per evaluation; the population is bounded by its capacity), so
+    very long campaigns should pause on proportionally larger
+    ``chunk_evaluations`` to keep per-chunk pickling/IPC amortised.
+    """
+
+    kind: GeneratorKind
+    seed: int
+    evaluations: int
+    engine: EngineCheckpoint
+    rng_state: object
+    elapsed_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    check_seconds: float = 0.0
+    ndt_history: list[float] = field(default_factory=list)
+    population_members: list[Individual] | None = None
+    population_births: int = 0
+
+
 class Campaign:
     """Runs one generator strategy against one system configuration."""
 
@@ -111,153 +151,195 @@ class Campaign:
             seed=seed)
         self.rng = random.Random(seed ^ 0xC0FFEE)
         self.generator = RandomTestGenerator(generator_config, self.rng)
+        # Cross-evaluation state, checkpointed by :meth:`checkpoint`.
+        self._evaluations = 0
+        self._elapsed_seconds = 0.0
+        self._sim_seconds = 0.0
+        self._check_seconds = 0.0
+        self._ndt_history: list[float] = []
+        self._population: SteadyStateGA | None = None
+        self._litmus_corpus = None
+        self._finished = False
 
     # ------------------------------------------------------------------
 
     def run(self, max_evaluations: int,
             time_limit_seconds: float | None = None) -> CampaignResult:
-        if self.kind is GeneratorKind.DIRECTED:
-            if self.chromosome is None:
-                raise ValueError(
-                    "a directed campaign needs the fixed chromosome to "
-                    "re-run (pass chromosome= to Campaign)")
-            return self._run_stateless(max_evaluations, time_limit_seconds,
-                                       lambda: self.chromosome)
-        if self.kind is GeneratorKind.DIY_LITMUS:
-            return self._run_litmus(max_evaluations, time_limit_seconds)
-        if self.kind is GeneratorKind.MCVERSI_RAND:
-            return self._run_random(max_evaluations, time_limit_seconds)
-        return self._run_genetic(max_evaluations, time_limit_seconds)
+        result, _ = self.run_chunk(max_evaluations, time_limit_seconds)
+        return result
 
-    # ------------------------------------------------------------------
+    def run_chunk(self, max_evaluations: int,
+                  time_limit_seconds: float | None = None,
+                  checkpoint: CampaignCheckpoint | None = None,
+                  pause_after: int | None = None
+                  ) -> tuple[CampaignResult | None, CampaignCheckpoint | None]:
+        """Run up to ``pause_after`` evaluations of the campaign's budget.
 
-    def _budget_exhausted(self, evaluations: int, max_evaluations: int,
-                          started: float,
-                          time_limit_seconds: float | None) -> bool:
-        if evaluations >= max_evaluations:
-            return True
-        if (time_limit_seconds is not None
-                and time.perf_counter() - started > time_limit_seconds):
-            return True
-        return False
-
-    def _result(self, found: bool, evaluations: int,
-                evaluations_to_find: int | None, started: float,
-                detail: list[str], ndt_history: list[float],
-                mean_ndt_final: float, sim_seconds: float,
-                check_seconds: float) -> CampaignResult:
-        return CampaignResult(
-            kind=self.kind, found=found, evaluations=evaluations,
-            evaluations_to_find=evaluations_to_find,
-            wall_seconds=time.perf_counter() - started, detail=detail,
-            total_coverage=self.coverage.total_coverage(),
-            ndt_history=ndt_history, mean_ndt_final=mean_ndt_final,
-            sim_seconds=sim_seconds, check_seconds=check_seconds)
-
-    # ------------------------------------------------------------------
-
-    def _run_random(self, max_evaluations: int,
-                    time_limit_seconds: float | None) -> CampaignResult:
-        return self._run_stateless(max_evaluations, time_limit_seconds,
-                                   self.generator.generate)
-
-    def _run_stateless(self, max_evaluations: int,
-                       time_limit_seconds: float | None,
-                       supply) -> CampaignResult:
-        """Budget loop for generators without evolving state.
-
-        ``supply`` yields the next test: a fresh random chromosome for
-        McVerSi-RAND, the same fixed chromosome for a directed scenario.
+        Returns ``(result, None)`` when the campaign finished (bug found or
+        budget exhausted) and ``(None, checkpoint)`` when it paused with
+        budget remaining.  ``checkpoint`` resumes a previously paused run —
+        on this instance or on a freshly constructed :class:`Campaign` built
+        from the same spec in any process.  ``pause_after=None`` runs to
+        completion; chunked and uninterrupted runs produce bit-identical
+        results because every piece of cross-evaluation state travels in the
+        checkpoint.
         """
+        if self.kind is GeneratorKind.DIRECTED and self.chromosome is None:
+            raise ValueError(
+                "a directed campaign needs the fixed chromosome to "
+                "re-run (pass chromosome= to Campaign)")
+        if checkpoint is not None:
+            self.restore(checkpoint)
+        elif self._finished:
+            # Campaigns consume their budget exactly once: re-running a
+            # finished instance would silently return a stale, zero-work
+            # result (the counters already sit at the budget).
+            raise RuntimeError(
+                "this campaign already ran to completion; construct a new "
+                "Campaign (or resume another one from its checkpoint)")
         started = time.perf_counter()
-        ndt_history: list[float] = []
-        sim_seconds = check_seconds = 0.0
-        evaluations = 0
-        while not self._budget_exhausted(evaluations, max_evaluations, started,
-                                         time_limit_seconds):
-            evaluations += 1
-            result = self.engine.run_test(supply())
-            sim_seconds += result.sim_seconds
-            check_seconds += result.check_seconds
-            ndt_history.append(result.ndt)
-            if result.bug_found:
-                return self._result(True, evaluations, evaluations, started,
-                                    result.violations, ndt_history,
-                                    result.ndt, sim_seconds, check_seconds)
-        return self._result(False, evaluations, None, started, [], ndt_history,
-                            ndt_history[-1] if ndt_history else 0.0,
-                            sim_seconds, check_seconds)
-
-    def _run_litmus(self, max_evaluations: int,
-                    time_limit_seconds: float | None) -> CampaignResult:
-        from repro.litmus.runner import LitmusRunner
-
-        started = time.perf_counter()
-        runner = LitmusRunner(self.engine)
-        litmus_result = runner.run(max_evaluations, time_limit_seconds)
-        detail = list(litmus_result.detail)
-        if litmus_result.failing_test:
-            detail.insert(0, f"failing litmus test: {litmus_result.failing_test}")
-        return self._result(litmus_result.found, litmus_result.evaluations,
-                            litmus_result.evaluations_to_find, started, detail,
-                            [], 0.0, 0.0, 0.0)
-
-    def _run_genetic(self, max_evaluations: int,
-                     time_limit_seconds: float | None) -> CampaignResult:
-        started = time.perf_counter()
-        config = self.generator_config
-        population = SteadyStateGA(capacity=config.population_size,
-                                   tournament_size=config.tournament_size,
-                                   rng=self.rng)
-        ndt_history: list[float] = []
-        sim_seconds = check_seconds = 0.0
-        evaluations = 0
-
-        def evaluate(chromosome) -> TestRunResult:
-            nonlocal evaluations, sim_seconds, check_seconds
-            evaluations += 1
+        chunk_evaluations = 0
+        while True:
+            elapsed = self._elapsed_seconds + time.perf_counter() - started
+            if self._evaluations >= max_evaluations or (
+                    time_limit_seconds is not None
+                    and elapsed > time_limit_seconds):
+                self._finished = True
+                return self._final_result(found=False, last=None,
+                                          elapsed=elapsed), None
+            if pause_after is not None and chunk_evaluations >= pause_after:
+                self._elapsed_seconds = elapsed
+                return None, self.checkpoint()
+            chromosome, litmus_name = self._next_test(max_evaluations)
             result = self.engine.run_test(chromosome)
-            sim_seconds += result.sim_seconds
-            check_seconds += result.check_seconds
-            ndt_history.append(result.ndt)
-            population.insert(chromosome, result.fitness.fitness, result.stats,
-                              bug_found=result.bug_found)
-            return result
-
-        # Seed the population with random tests.
-        initial = min(config.population_size, max_evaluations)
-        for _ in range(initial):
-            if self._budget_exhausted(evaluations, max_evaluations, started,
-                                      time_limit_seconds):
-                break
-            result = evaluate(self.generator.generate())
+            self._evaluations += 1
+            chunk_evaluations += 1
+            self._sim_seconds += result.sim_seconds
+            self._check_seconds += result.check_seconds
+            if self.kind is not GeneratorKind.DIY_LITMUS:
+                self._ndt_history.append(result.ndt)
+            if self._population is not None:
+                self._population.insert(chromosome, result.fitness.fitness,
+                                        result.stats,
+                                        bug_found=result.bug_found)
             if result.bug_found:
-                return self._result(True, evaluations, evaluations, started,
-                                    result.violations, ndt_history,
-                                    population.mean_ndt(), sim_seconds,
-                                    check_seconds)
+                elapsed = (self._elapsed_seconds
+                           + time.perf_counter() - started)
+                self._finished = True
+                return self._final_result(found=True, last=result,
+                                          elapsed=elapsed,
+                                          litmus_name=litmus_name), None
 
-        # Steady-state evolution loop.
-        while not self._budget_exhausted(evaluations, max_evaluations, started,
-                                         time_limit_seconds):
-            parent1, parent2 = population.select_parents()
-            if self.rng.random() < config.crossover_probability:
-                if self.kind is GeneratorKind.MCVERSI_ALL:
-                    child = selective_crossover_mutate(
-                        parent1.chromosome, parent2.chromosome,
-                        parent1.stats, parent2.stats, config,
-                        self.generator, self.rng)
-                else:
-                    child = single_point_crossover(
-                        parent1.chromosome, parent2.chromosome, config,
-                        self.generator, self.rng)
-            else:
-                child = self.generator.generate()
-            result = evaluate(child)
-            if result.bug_found:
-                return self._result(True, evaluations, evaluations, started,
-                                    result.violations, ndt_history,
-                                    population.mean_ndt(), sim_seconds,
-                                    check_seconds)
-        return self._result(False, evaluations, None, started, [], ndt_history,
-                            population.mean_ndt(), sim_seconds, check_seconds)
+    # -- checkpoint/resume ---------------------------------------------
+
+    def checkpoint(self) -> CampaignCheckpoint:
+        """Snapshot the campaign between two evaluations (picklable)."""
+        population = self._population
+        return CampaignCheckpoint(
+            kind=self.kind, seed=self.seed,
+            evaluations=self._evaluations,
+            engine=self.engine.checkpoint(),
+            rng_state=self.rng.getstate(),
+            elapsed_seconds=self._elapsed_seconds,
+            sim_seconds=self._sim_seconds,
+            check_seconds=self._check_seconds,
+            ndt_history=list(self._ndt_history),
+            population_members=(list(population.members)
+                                if population is not None else None),
+            population_births=(population._births
+                               if population is not None else 0))
+
+    def restore(self, checkpoint: CampaignCheckpoint) -> None:
+        """Adopt a checkpoint taken from an equivalent campaign."""
+        if checkpoint.kind is not self.kind or checkpoint.seed != self.seed:
+            raise ValueError(
+                f"checkpoint belongs to {checkpoint.kind.value} (seed "
+                f"{checkpoint.seed}), not {self.kind.value} (seed {self.seed})")
+        self.engine.restore(checkpoint.engine)
+        self.rng.setstate(checkpoint.rng_state)
+        self._finished = False
+        self._evaluations = checkpoint.evaluations
+        self._elapsed_seconds = checkpoint.elapsed_seconds
+        self._sim_seconds = checkpoint.sim_seconds
+        self._check_seconds = checkpoint.check_seconds
+        self._ndt_history = list(checkpoint.ndt_history)
+        if checkpoint.population_members is None:
+            self._population = None
+        else:
+            population = self._make_population()
+            population.members = list(checkpoint.population_members)
+            population._births = checkpoint.population_births
+            self._population = population
+
+    # -- one evaluation ------------------------------------------------
+
+    def _next_test(self, max_evaluations: int
+                   ) -> tuple[Chromosome, str | None]:
+        """The chromosome to evaluate next (and its litmus-test name)."""
+        if self.kind is GeneratorKind.DIRECTED:
+            return self.chromosome, None
+        if self.kind is GeneratorKind.MCVERSI_RAND:
+            return self.generator.generate(), None
+        if self.kind is GeneratorKind.DIY_LITMUS:
+            corpus = self._litmus_tests()
+            test = corpus[self._evaluations % len(corpus)]
+            return test.chromosome, test.name
+        return self._next_genetic_test(max_evaluations), None
+
+    def _next_genetic_test(self, max_evaluations: int) -> Chromosome:
+        config = self.generator_config
+        if self._population is None:
+            self._population = self._make_population()
+        # Seed the population with random tests before evolving.
+        if self._evaluations < min(config.population_size, max_evaluations):
+            return self.generator.generate()
+        parent1, parent2 = self._population.select_parents()
+        if self.rng.random() < config.crossover_probability:
+            if self.kind is GeneratorKind.MCVERSI_ALL:
+                return selective_crossover_mutate(
+                    parent1.chromosome, parent2.chromosome,
+                    parent1.stats, parent2.stats, config,
+                    self.generator, self.rng)
+            return single_point_crossover(
+                parent1.chromosome, parent2.chromosome, config,
+                self.generator, self.rng)
+        return self.generator.generate()
+
+    def _make_population(self) -> SteadyStateGA:
+        config = self.generator_config
+        return SteadyStateGA(capacity=config.population_size,
+                             tournament_size=config.tournament_size,
+                             rng=self.rng)
+
+    def _litmus_tests(self):
+        if self._litmus_corpus is None:
+            from repro.litmus.runner import LitmusRunner
+
+            self._litmus_corpus = LitmusRunner(self.engine).corpus
+        return self._litmus_corpus
+
+    # -- result assembly -----------------------------------------------
+
+    def _final_result(self, found: bool, last: TestRunResult | None,
+                      elapsed: float,
+                      litmus_name: str | None = None) -> CampaignResult:
+        detail: list[str] = []
+        if found and last is not None:
+            detail = list(last.violations)
+            if litmus_name is not None:
+                detail.insert(0, f"failing litmus test: {litmus_name}")
+        if self.kind is GeneratorKind.DIY_LITMUS:
+            mean_ndt = 0.0
+        elif self._population is not None:
+            mean_ndt = self._population.mean_ndt()
+        elif found and last is not None:
+            mean_ndt = last.ndt
+        else:
+            mean_ndt = self._ndt_history[-1] if self._ndt_history else 0.0
+        return CampaignResult(
+            kind=self.kind, found=found, evaluations=self._evaluations,
+            evaluations_to_find=self._evaluations if found else None,
+            wall_seconds=elapsed, detail=detail,
+            total_coverage=self.coverage.total_coverage(),
+            ndt_history=list(self._ndt_history), mean_ndt_final=mean_ndt,
+            sim_seconds=self._sim_seconds, check_seconds=self._check_seconds)

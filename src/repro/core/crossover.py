@@ -19,7 +19,7 @@ import random
 from repro.core.config import GeneratorConfig
 from repro.core.generator import RandomTestGenerator
 from repro.core.nondeterminism import TestRunStats
-from repro.core.program import Chromosome, make_chromosome, reslot
+from repro.core.program import Chromosome, make_chromosome
 from repro.sim.testprogram import TestOp
 
 

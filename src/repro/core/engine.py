@@ -26,7 +26,7 @@ from repro.core.fitness import AdaptiveCoverageFitness, FitnessReport
 from repro.core.nondeterminism import TestRunStats
 from repro.core.program import Chromosome
 from repro.sim.config import SystemConfig
-from repro.sim.coverage import CoverageCollector
+from repro.sim.coverage import CoverageCollector, CoverageState
 from repro.sim.faults import FaultSet
 from repro.sim.host import HostAssistedBarrier
 from repro.sim.system import System
@@ -50,6 +50,24 @@ class TestRunResult:
     @property
     def ndt(self) -> float:
         return self.stats.ndt()
+
+
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """Picklable between-test-runs state of a :class:`VerificationEngine`.
+
+    Captures everything that persists across test-runs — the per-run seed
+    sequence, the cumulative coverage and the adaptive fitness counters.
+    The simulated system itself holds no cross-run state (a fresh
+    micro-architecture is built per iteration), so an engine reconstructed
+    from the same configs and restored from this checkpoint continues the
+    campaign bit-for-bit identically to one that was never interrupted.
+    """
+
+    rng_state: object
+    test_runs: int
+    coverage: CoverageState
+    fitness: dict[str, object]
 
 
 class VerificationEngine:
@@ -84,6 +102,22 @@ class VerificationEngine:
                              max_ticks=max_ticks)
         self._seed_sequence = random.Random(seed)
         self.test_runs = 0
+
+    # -- checkpoint/resume (chunked campaign scheduling) ---------------
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Snapshot the engine's cross-run state between two test-runs."""
+        return EngineCheckpoint(rng_state=self._seed_sequence.getstate(),
+                                test_runs=self.test_runs,
+                                coverage=self.coverage.checkpoint(),
+                                fitness=self.fitness.checkpoint())
+
+    def restore(self, checkpoint: EngineCheckpoint) -> None:
+        """Restore cross-run state captured by :meth:`checkpoint`."""
+        self._seed_sequence.setstate(checkpoint.rng_state)
+        self.test_runs = checkpoint.test_runs
+        self.coverage.restore(checkpoint.coverage)
+        self.fitness.restore(checkpoint.fitness)
 
     # ------------------------------------------------------------------
 

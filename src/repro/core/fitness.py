@@ -77,6 +77,26 @@ class AdaptiveCoverageFitness:
         return RareSnapshot(rare=self.coverage.rare_transitions(self.cutoff),
                             known=self.coverage.known_transitions)
 
+    # -- checkpoint/resume (chunked campaign scheduling) -------------------
+
+    def checkpoint(self) -> dict[str, object]:
+        """Picklable snapshot of the adaptive cut-off state.
+
+        The coverage collector itself is checkpointed separately (it is
+        shared with the engine and the system); only the fitness function's
+        own counters live here.
+        """
+        return {"cutoff": self.cutoff,
+                "evaluations": self.evaluations,
+                "consecutive_low": self._consecutive_low,
+                "cutoff_history": list(self.cutoff_history)}
+
+    def restore(self, state: dict[str, object]) -> None:
+        self.cutoff = state["cutoff"]
+        self.evaluations = state["evaluations"]
+        self._consecutive_low = state["consecutive_low"]
+        self.cutoff_history = list(state["cutoff_history"])
+
     def evaluate(self, run_transitions: frozenset[TransitionKey],
                  ndt: float = 0.0,
                  rare: RareSnapshot | frozenset[TransitionKey] | None = None
@@ -148,6 +168,12 @@ class ConstantFitness:
 
     def pre_run_rare(self) -> RareSnapshot:
         return RareSnapshot(rare=frozenset(), known=frozenset())
+
+    def checkpoint(self) -> dict[str, object]:
+        return {"evaluations": self.evaluations}
+
+    def restore(self, state: dict[str, object]) -> None:
+        self.evaluations = state["evaluations"]
 
     def evaluate(self, run_transitions: frozenset[TransitionKey],
                  ndt: float = 0.0,

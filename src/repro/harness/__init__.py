@@ -3,33 +3,45 @@
 from repro.harness.experiment import (BugCoverageCell, BugCoverageExperiment,
                                       CoverageExperiment, ExperimentSettings,
                                       budget_scaling_summary)
-from repro.harness.parallel import (CampaignSpec, CampaignSummary, ShardResult,
+from repro.harness.parallel import (SCHEDULERS, STATIC, WORK_STEALING,
+                                    CampaignSpec, CampaignSummary,
+                                    ShardResult, SweepAccumulator,
                                     SweepReport, campaign_matrix,
                                     default_workers, derive_shard_seed,
-                                    run_campaigns, run_shard, system_for_fault)
-from repro.harness.reporting import (format_speedup, format_sweep_report,
+                                    iter_campaigns, run_campaigns, run_shard,
+                                    run_shard_chunk, system_for_fault)
+from repro.harness.reporting import (ProgressPrinter, format_progress_line,
+                                     format_speedup, format_sweep_report,
                                      format_table)
 from repro.harness.scenarios import run_scenario_sweep, scenario_specs
 
 __all__ = [
+    "SCHEDULERS",
+    "STATIC",
+    "WORK_STEALING",
     "BugCoverageCell",
     "BugCoverageExperiment",
     "CampaignSpec",
     "CampaignSummary",
     "CoverageExperiment",
     "ExperimentSettings",
+    "ProgressPrinter",
     "ShardResult",
+    "SweepAccumulator",
     "SweepReport",
     "budget_scaling_summary",
     "campaign_matrix",
     "default_workers",
     "derive_shard_seed",
+    "format_progress_line",
     "format_speedup",
     "format_sweep_report",
     "format_table",
+    "iter_campaigns",
     "run_campaigns",
     "run_scenario_sweep",
     "run_shard",
+    "run_shard_chunk",
     "scenario_specs",
     "system_for_fault",
 ]

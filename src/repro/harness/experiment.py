@@ -16,10 +16,12 @@ evaluation count provides deterministically.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from repro.core.campaign import GeneratorKind
 from repro.core.config import GeneratorConfig
-from repro.harness.parallel import (CampaignSpec, CampaignSummary,
+from repro.harness.parallel import (WORK_STEALING, CampaignSpec,
+                                    CampaignSummary, ShardResult,
                                     run_campaigns, system_for_fault)
 from repro.sim.config import SystemConfig, TestMemoryLayout
 from repro.sim.faults import Fault
@@ -29,10 +31,12 @@ from repro.sim.faults import Fault
 class ExperimentSettings:
     """Shared settings of one experiment run.
 
-    ``workers`` shards the experiment's campaign matrix across a
+    ``workers`` schedules the experiment's campaign matrix across a
     multiprocessing pool (see :mod:`repro.harness.parallel`); per-campaign
-    seeds are fixed before scheduling, so any worker count reproduces the
-    ``workers=1`` results exactly.
+    seeds are fixed before scheduling, so any worker count, ``scheduler``
+    or ``chunk_evaluations`` choice reproduces the ``workers=1`` results
+    exactly.  ``chunk_evaluations`` splits long campaigns into resumable
+    chunks under the work-stealing scheduler.
     """
 
     generator_config: GeneratorConfig
@@ -42,12 +46,23 @@ class ExperimentSettings:
     time_limit_seconds: float | None = None
     seed: int = 1
     workers: int = 1
+    scheduler: str = WORK_STEALING
+    chunk_evaluations: int | None = None
 
     def with_memory(self, memory_kib: int) -> "ExperimentSettings":
         memory = TestMemoryLayout.kib(memory_kib)
         return replace(self,
                        generator_config=replace(self.generator_config,
                                                 memory=memory))
+
+    def run_matrix(self, specs: list[CampaignSpec],
+                   on_result: Callable[[ShardResult], None] | None = None,
+                   progress: bool = False):
+        """Run a shard matrix through the orchestrator with these settings."""
+        return run_campaigns(specs, workers=self.workers,
+                             scheduler=self.scheduler,
+                             chunk_evaluations=self.chunk_evaluations,
+                             on_result=on_result, progress=progress)
 
 
 @dataclass
@@ -104,9 +119,16 @@ class BugCoverageExperiment:
                         time_limit_seconds=settings.time_limit_seconds))
         return cells, specs
 
-    def run(self) -> list[BugCoverageCell]:
+    def run(self, on_result: Callable[[ShardResult], None] | None = None,
+            progress: bool = False) -> list[BugCoverageCell]:
+        """Run the matrix; ``on_result`` streams shard results as they land.
+
+        Cells are always assembled from the matrix-ordered report, so the
+        (cell, sample) structure is independent of completion order.
+        """
         cells, specs = self.campaign_matrix()
-        report = run_campaigns(specs, workers=self.settings.workers)
+        report = self.settings.run_matrix(specs, on_result=on_result,
+                                          progress=progress)
         samples = self.settings.samples
         for index, shard in enumerate(report.shards):
             cells[index // samples].results.append(shard.result)
@@ -208,9 +230,12 @@ class CoverageExperiment:
                         time_limit_seconds=settings.time_limit_seconds))
         return keys, specs
 
-    def run(self) -> dict[tuple[str, GeneratorKind, int], float]:
+    def run(self, on_result: Callable[[ShardResult], None] | None = None,
+            progress: bool = False
+            ) -> dict[tuple[str, GeneratorKind, int], float]:
         keys, specs = self.campaign_matrix()
-        report = run_campaigns(specs, workers=self.settings.workers)
+        report = self.settings.run_matrix(specs, on_result=on_result,
+                                          progress=progress)
         samples = self.settings.samples
         self.results = {}
         for index, shard in enumerate(report.shards):

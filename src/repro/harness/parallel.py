@@ -3,18 +3,48 @@
 The paper's headline claim is *fast* verification: wall-clock time to bug
 discovery across many generator/bug pairs.  Campaigns are embarrassingly
 parallel — each one owns its RNG, engine, system and coverage collector —
-so a matrix of (generator kind x fault x seed) campaigns can be sharded
+so a matrix of (generator kind x fault x seed) campaigns can be scheduled
 across a :mod:`multiprocessing` worker pool.
+
+Scheduling
+----------
+Two schedulers are provided:
+
+* ``scheduler="work-stealing"`` (the default): workers *pull* shards from a
+  shared task queue as they finish, so a matrix with heterogeneous campaign
+  lengths (mixed ``max_evaluations``, early bug finds) keeps every worker
+  busy instead of idling behind the longest statically assigned shard.
+  With ``chunk_evaluations=K`` long campaigns are additionally split into
+  resumable K-evaluation chunks: a paused campaign travels back to the host
+  as a picklable :class:`repro.core.campaign.CampaignCheckpoint` and is
+  re-queued, so *any* worker can continue it — the building block for
+  cross-host sharding, where a remote worker needs exactly such a
+  self-contained (spec, checkpoint) unit.
+* ``scheduler="static"``: the matrix is partitioned into contiguous
+  per-worker blocks up front (``pool.map``).  Kept as the baseline the
+  scaling benchmark compares against; it pays a straggler tax on
+  heterogeneous matrices.
+
+Result streaming
+----------------
+:func:`iter_campaigns` yields ``(shard_index, ShardResult)`` pairs in
+*completion* order as workers finish, and :func:`run_campaigns` accepts an
+``on_result`` callback plus ``progress=True`` for a live progress line, so
+Table-4-style summaries update incrementally instead of after a full
+barrier.  :class:`SweepAccumulator` folds streamed results into partial
+:class:`SweepReport` views and the final matrix-ordered report.
 
 Determinism guarantee
 ---------------------
 Every shard is a fully self-contained :class:`CampaignSpec` whose seed is
 fixed *before* any worker runs: seeds derive from the shard's position in
 the matrix (:func:`derive_shard_seed`), never from the worker that happens
-to execute it.  Workers only change wall-clock time; ``workers=N`` produces
-bit-identical per-shard ``found``/``evaluations_to_find`` results to
-``workers=1``, and ``workers=1`` runs fully in-process (no pool, no
-pickling) so single-process debugging stays trivial.
+to execute it, and campaign checkpoints capture *all* cross-evaluation
+state.  Scheduler choice, worker count and chunk size therefore only change
+wall-clock time; ``workers=N`` produces bit-identical per-shard
+``found``/``evaluations_to_find`` results to ``workers=1``, and
+``workers=1`` runs fully in-process (no pool, no pickling) so
+single-process debugging stays trivial.
 
 Coverage is collected per shard and folded back together on the host via
 :meth:`repro.sim.coverage.CoverageCollector.merge`, so aggregate coverage
@@ -25,11 +55,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
 import time
 from dataclasses import dataclass, field
 from statistics import mean
+from typing import Callable, Iterator, TextIO
 
-from repro.core.campaign import Campaign, CampaignResult, GeneratorKind
+from repro.core.campaign import (Campaign, CampaignCheckpoint, CampaignResult,
+                                 GeneratorKind)
 from repro.core.config import GeneratorConfig
 from repro.core.program import Chromosome
 from repro.sim.config import SystemConfig
@@ -94,16 +127,42 @@ class ShardResult:
     coverage: CoverageCollector
 
 
+def _campaign_for(spec: CampaignSpec) -> Campaign:
+    return Campaign(kind=spec.kind,
+                    generator_config=spec.generator_config,
+                    system_config=spec.system_config,
+                    faults=spec.fault_set(),
+                    seed=spec.seed,
+                    chromosome=spec.chromosome)
+
+
 def run_shard(spec: CampaignSpec) -> ShardResult:
-    """Run one shard in the current process (the worker entry point)."""
-    campaign = Campaign(kind=spec.kind,
-                        generator_config=spec.generator_config,
-                        system_config=spec.system_config,
-                        faults=spec.fault_set(),
-                        seed=spec.seed,
-                        chromosome=spec.chromosome)
+    """Run one shard to completion in the current process."""
+    campaign = _campaign_for(spec)
     result = campaign.run(spec.max_evaluations, spec.time_limit_seconds)
     return ShardResult(spec=spec, result=result, coverage=campaign.coverage)
+
+
+def run_shard_chunk(spec: CampaignSpec,
+                    checkpoint: CampaignCheckpoint | None = None,
+                    pause_after: int | None = None
+                    ) -> tuple[ShardResult | None, CampaignCheckpoint | None]:
+    """Run (a chunk of) one shard in the current process.
+
+    The work-stealing worker entry point: resumes the shard from
+    ``checkpoint`` (if any), runs at most ``pause_after`` evaluations, and
+    returns either ``(ShardResult, None)`` on completion or
+    ``(None, checkpoint)`` if budget remains — the checkpoint is picklable
+    and can continue on any worker.
+    """
+    campaign = _campaign_for(spec)
+    result, new_checkpoint = campaign.run_chunk(
+        spec.max_evaluations, spec.time_limit_seconds,
+        checkpoint=checkpoint, pause_after=pause_after)
+    if result is None:
+        return None, new_checkpoint
+    return ShardResult(spec=spec, result=result,
+                       coverage=campaign.coverage), None
 
 
 # ----------------------------------------------------------------------
@@ -308,30 +367,267 @@ def default_workers() -> int:
         return max(1, os.cpu_count() or 1)
 
 
+WORK_STEALING = "work-stealing"
+STATIC = "static"
+SCHEDULERS = (WORK_STEALING, STATIC)
+
+
+def _worker_loop(task_queue, result_queue) -> None:
+    """Work-stealing worker: pull (index, spec, checkpoint, pause) items.
+
+    Runs one chunk per item and reports ``(index, shard, checkpoint,
+    error)`` back to the host; a ``None`` item is the shutdown sentinel.
+    Errors are stringified rather than re-raised so a failing shard takes
+    down the sweep with a diagnosable exception, not a hung queue.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        index, spec, checkpoint, pause_after = item
+        try:
+            shard, new_checkpoint = run_shard_chunk(spec, checkpoint,
+                                                    pause_after)
+            result_queue.put((index, shard, new_checkpoint, None))
+        except Exception as error:
+            # Shard failures cross the process boundary as strings so the
+            # host can raise a diagnosable error.  KeyboardInterrupt /
+            # SystemExit deliberately propagate: on Ctrl-C the worker must
+            # exit promptly, not keep draining the queue.
+            result_queue.put((index, None, None,
+                              f"{type(error).__name__}: {error}"))
+
+
+def _iter_serial(specs: list[CampaignSpec],
+                 chunk_evaluations: int | None
+                 ) -> Iterator[tuple[int, ShardResult]]:
+    """In-process execution in matrix order (the workers=1 fallback).
+
+    Honours ``chunk_evaluations`` so the checkpoint/resume path is
+    exercised (and therefore debuggable) without any multiprocessing.
+    """
+    for index, spec in enumerate(specs):
+        checkpoint = None
+        while True:
+            shard, checkpoint = run_shard_chunk(spec, checkpoint,
+                                                chunk_evaluations)
+            if shard is not None:
+                yield index, shard
+                break
+
+
+def _iter_static(specs: list[CampaignSpec], workers: int,
+                 mp_context: str | None,
+                 chunksize: int | None) -> Iterator[tuple[int, ShardResult]]:
+    """Static scheduling: contiguous per-worker blocks, one barrier.
+
+    ``pool.map`` with a block-sized chunksize assigns shard ``i`` to worker
+    ``i // chunksize`` up front; results only become available after the
+    full barrier (no streaming), which is exactly the straggler behaviour
+    the work-stealing scheduler exists to avoid.
+    """
+    context = multiprocessing.get_context(mp_context)
+    processes = min(workers, len(specs))
+    if chunksize is None:
+        chunksize = -(-len(specs) // processes)  # ceil: contiguous blocks
+    with context.Pool(processes=processes) as pool:
+        shards = pool.map(run_shard, specs, chunksize=chunksize)
+    yield from enumerate(shards)
+
+
+def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
+                        mp_context: str | None,
+                        chunk_evaluations: int | None
+                        ) -> Iterator[tuple[int, ShardResult]]:
+    """Pull-based scheduling: a shared queue workers drain as they finish.
+
+    Paused chunks come back to the host with their checkpoint and are
+    re-queued at the tail, so every idle worker always has something to
+    steal while long campaigns make round-robin progress.  Results are
+    yielded in completion order, as soon as each shard finishes.
+    """
+    context = multiprocessing.get_context(mp_context)
+    processes = min(workers, len(specs))
+    task_queue = context.Queue()
+    result_queue = context.Queue()
+    pool = [context.Process(target=_worker_loop,
+                            args=(task_queue, result_queue), daemon=True)
+            for _ in range(processes)]
+    for process in pool:
+        process.start()
+    try:
+        for index, spec in enumerate(specs):
+            task_queue.put((index, spec, None, chunk_evaluations))
+        pending = len(specs)
+        while pending:
+            try:
+                index, shard, checkpoint, error = result_queue.get(
+                    timeout=1.0)
+            except queue.Empty:
+                # A worker killed outside Python (OOM, segfault) can never
+                # report the task it held; fail loudly instead of blocking
+                # on the queue forever.
+                dead = [process for process in pool
+                        if not process.is_alive()]
+                if dead:
+                    codes = sorted({process.exitcode for process in dead})
+                    raise RuntimeError(
+                        f"{len(dead)} worker process(es) died with exit "
+                        f"code(s) {codes} while {pending} shard(s) were "
+                        "still pending") from None
+                continue
+            if error is not None:
+                raise RuntimeError(
+                    f"shard {index} ({specs[index].describe()}) failed "
+                    f"in a worker: {error}")
+            if shard is None:
+                # Chunk paused with budget left: re-queue for any worker.
+                task_queue.put((index, specs[index], checkpoint,
+                                chunk_evaluations))
+            else:
+                pending -= 1
+                yield index, shard
+    finally:
+        for _ in pool:
+            task_queue.put(None)
+        for process in pool:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.terminate()
+        task_queue.close()
+        result_queue.close()
+
+
+def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
+                   mp_context: str | None = None,
+                   scheduler: str = WORK_STEALING,
+                   chunk_evaluations: int | None = None,
+                   chunksize: int | None = None
+                   ) -> Iterator[tuple[int, ShardResult]]:
+    """Stream ``(shard_index, ShardResult)`` pairs as shards complete.
+
+    The iterator mode of the orchestrator: results arrive in completion
+    order (matrix order for the serial and static paths), each tagged with
+    its matrix index so consumers can reassemble deterministic reports.
+    Arguments are validated eagerly (at call time), not when the returned
+    iterator is first advanced.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if scheduler not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler {scheduler!r}; "
+                         f"expected one of {SCHEDULERS}")
+    if chunk_evaluations is not None and chunk_evaluations < 1:
+        raise ValueError("chunk_evaluations must be at least 1")
+    if scheduler == STATIC and chunk_evaluations is not None:
+        raise ValueError("chunk_evaluations requires the work-stealing "
+                         "scheduler; the static partition runs shards "
+                         "monolithically")
+    if scheduler == WORK_STEALING and chunksize is not None:
+        raise ValueError("chunksize configures the static scheduler's "
+                         "partition; the work-stealing queue hands out "
+                         "single chunks")
+    if workers == 1 or len(specs) <= 1:
+        return _iter_serial(specs, chunk_evaluations)
+    if scheduler == STATIC:
+        return _iter_static(specs, workers, mp_context, chunksize)
+    return _iter_work_stealing(specs, workers, mp_context,
+                               chunk_evaluations)
+
+
+class SweepAccumulator:
+    """Folds streamed shard results into (partial) :class:`SweepReport`\\ s.
+
+    Feed it ``(index, shard)`` pairs in any order via :meth:`add`;
+    :meth:`partial_report` gives a matrix-ordered report over the shards
+    completed so far (for incremental tables), and :meth:`finalize` the
+    complete report.  Coverage is merged incrementally, so partial reports
+    are cheap even for large sweeps.
+    """
+
+    def __init__(self, total: int, workers: int = 1) -> None:
+        self.total = total
+        self.workers = workers
+        self.completed = 0
+        self.found_count = 0
+        self.coverage = CoverageCollector()
+        self._slots: list[ShardResult | None] = [None] * total
+        self._started = time.perf_counter()
+
+    def add(self, index: int, shard: ShardResult) -> None:
+        if self._slots[index] is not None:
+            raise ValueError(f"shard {index} was already recorded")
+        self._slots[index] = shard
+        self.completed += 1
+        if shard.result.found:
+            self.found_count += 1
+        self.coverage.merge(shard.coverage)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return time.perf_counter() - self._started
+
+    def partial_report(self) -> SweepReport:
+        """A report over the completed shards, in matrix order."""
+        coverage = CoverageCollector()
+        coverage.merge(self.coverage)
+        return SweepReport(
+            shards=[shard for shard in self._slots if shard is not None],
+            workers=self.workers, wall_seconds=self.elapsed_seconds,
+            coverage=coverage)
+
+    def finalize(self, wall_seconds: float | None = None) -> SweepReport:
+        if self.completed != self.total:
+            raise RuntimeError(f"sweep incomplete: {self.completed}/"
+                               f"{self.total} shards finished")
+        return SweepReport(
+            shards=list(self._slots), workers=self.workers,
+            wall_seconds=(wall_seconds if wall_seconds is not None
+                          else self.elapsed_seconds),
+            coverage=self.coverage)
+
+
 def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                   mp_context: str | None = None,
-                  chunksize: int = 1) -> SweepReport:
+                  chunksize: int | None = None,
+                  scheduler: str = WORK_STEALING,
+                  chunk_evaluations: int | None = None,
+                  on_result: Callable[[ShardResult], None] | None = None,
+                  progress: bool = False,
+                  progress_stream: TextIO | None = None) -> SweepReport:
     """Run a shard matrix, optionally across a worker pool.
 
     ``workers=1`` executes every shard in-process, in matrix order, with no
     multiprocessing machinery at all — the reproducible serial fallback.
-    ``workers>1`` shards the matrix across a pool; ``pool.map`` preserves
-    matrix order, and every shard's seed is already fixed inside its spec,
-    so the per-shard results are identical to the serial run.
+    ``workers>1`` schedules the matrix with the chosen ``scheduler`` (see
+    the module docstring); ``chunk_evaluations`` splits long campaigns into
+    resumable chunks under the work-stealing scheduler.
+
+    ``on_result`` is invoked on the host with each :class:`ShardResult` in
+    completion order, while other shards are still running; ``progress=True``
+    additionally maintains a live one-line progress display (stderr by
+    default).  The returned report always lists shards in matrix order, so
+    downstream tables are independent of completion order.
     """
-    if workers < 1:
-        raise ValueError("workers must be at least 1")
     started = time.perf_counter()
-    if workers == 1 or len(specs) <= 1:
-        shards = [run_shard(spec) for spec in specs]
-    else:
-        context = multiprocessing.get_context(mp_context)
-        processes = min(workers, len(specs))
-        with context.Pool(processes=processes) as pool:
-            shards = pool.map(run_shard, specs, chunksize=chunksize)
-    coverage = CoverageCollector()
-    for shard in shards:
-        coverage.merge(shard.coverage)
-    return SweepReport(shards=shards, workers=workers,
-                       wall_seconds=time.perf_counter() - started,
-                       coverage=coverage)
+    accumulator = SweepAccumulator(total=len(specs), workers=workers)
+    printer = None
+    if progress:
+        from repro.harness.reporting import ProgressPrinter
+
+        printer = ProgressPrinter(total=len(specs), stream=progress_stream)
+    for index, shard in iter_campaigns(specs, workers=workers,
+                                       mp_context=mp_context,
+                                       scheduler=scheduler,
+                                       chunk_evaluations=chunk_evaluations,
+                                       chunksize=chunksize):
+        accumulator.add(index, shard)
+        if on_result is not None:
+            on_result(shard)
+        if printer is not None:
+            printer.update(completed=accumulator.completed,
+                           found=accumulator.found_count,
+                           elapsed_seconds=accumulator.elapsed_seconds)
+    if printer is not None:
+        printer.finish()
+    return accumulator.finalize(time.perf_counter() - started)

@@ -1,8 +1,14 @@
-"""Plain-text table formatting for the experiment harness and benchmarks."""
+"""Plain-text table formatting for the experiment harness and benchmarks.
+
+Besides the paper-style tables, this module provides the live progress
+line the streaming orchestrator updates as shard results arrive
+(:func:`format_progress_line` / :class:`ProgressPrinter`).
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+import sys
+from typing import TYPE_CHECKING, Sequence, TextIO
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.harness.parallel import SweepReport
@@ -51,6 +57,50 @@ def format_sweep_report(report: "SweepReport",
               f"bugs_found={report.found_count} "
               f"total_coverage={report.coverage.total_coverage():.1%}")
     return f"{table}\n{footer}"
+
+
+def format_progress_line(completed: int, total: int, found: int,
+                         elapsed_seconds: float) -> str:
+    """One-line sweep progress: shards done, bugs found, elapsed time."""
+    percent = completed / total if total else 1.0
+    return (f"[{completed}/{total} shards, {percent:.0%}] "
+            f"bugs_found={found} elapsed={elapsed_seconds:.1f}s")
+
+
+class ProgressPrinter:
+    """Maintains a live single-line progress display on a stream.
+
+    Each :meth:`update` rewrites the line in place (carriage return, no
+    newline) so streaming sweeps show continuous progress; :meth:`finish`
+    terminates the line.  Writes are best-effort: a closed or non-tty
+    stream never breaks the sweep.
+    """
+
+    def __init__(self, total: int, stream: TextIO | None = None) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self._last_width = 0
+
+    def update(self, completed: int, found: int,
+               elapsed_seconds: float) -> None:
+        line = format_progress_line(completed, self.total, found,
+                                    elapsed_seconds)
+        padding = " " * max(0, self._last_width - len(line))
+        self._last_width = len(line)
+        try:
+            self.stream.write(f"\r{line}{padding}")
+            self.stream.flush()
+        except (OSError, ValueError):  # pragma: no cover - stream closed
+            pass
+
+    def finish(self) -> None:
+        if self._last_width == 0:
+            return
+        try:
+            self.stream.write("\n")
+            self.stream.flush()
+        except (OSError, ValueError):  # pragma: no cover - stream closed
+            pass
 
 
 def format_speedup(serial_seconds: float, parallel_seconds: float,

@@ -280,15 +280,26 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                        base_seed: int = 1,
                        max_test_runs: int = 6,
                        time_limit_seconds: float | None = None,
-                       workers: int = 1) -> "SweepReport":
-    """Run the directed scenarios through the parallel orchestrator."""
+                       workers: int = 1,
+                       scheduler: str = "work-stealing",
+                       chunk_evaluations: int | None = None,
+                       on_result=None,
+                       progress: bool = False) -> "SweepReport":
+    """Run the directed scenarios through the parallel orchestrator.
+
+    Scheduling options mirror :func:`repro.harness.parallel.run_campaigns`:
+    the default work-stealing scheduler streams each scenario's verdict to
+    ``on_result`` as it completes.
+    """
     from repro.harness.parallel import run_campaigns
 
     specs = scenario_specs(faults=faults,
                            seeds_per_scenario=seeds_per_scenario,
                            base_seed=base_seed, max_test_runs=max_test_runs,
                            time_limit_seconds=time_limit_seconds)
-    return run_campaigns(specs, workers=workers)
+    return run_campaigns(specs, workers=workers, scheduler=scheduler,
+                         chunk_evaluations=chunk_evaluations,
+                         on_result=on_result, progress=progress)
 
 
 def scenario_for(fault: Fault) -> Scenario:

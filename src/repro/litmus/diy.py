@@ -34,7 +34,7 @@ Wse        (W, W)                   write serialisation, external
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.program import Chromosome, make_chromosome
 from repro.sim.config import TestMemoryLayout

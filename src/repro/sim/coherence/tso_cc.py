@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.sim.cache import CacheArray, CacheLine
+from repro.sim.cache import CacheArray
 from repro.sim.coherence.base import (CoherenceController, InvalidationListener,
                                       InvalidationReason)
 from repro.sim.config import SystemConfig

@@ -11,7 +11,7 @@ fitness function consumes.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 
@@ -25,6 +25,19 @@ class TransitionKey:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.controller}:{self.state}--{self.event}"
+
+
+@dataclass(frozen=True)
+class CoverageState:
+    """Picklable snapshot of a collector's cumulative observations.
+
+    Per-run state (:meth:`CoverageCollector.run_transitions`) is
+    deliberately excluded: checkpoints are only taken between test-runs,
+    when the run set is about to be reset anyway.
+    """
+
+    counts: tuple[tuple[TransitionKey, int], ...] = ()
+    known: frozenset[TransitionKey] = field(default_factory=frozenset)
 
 
 class CoverageCollector:
@@ -89,3 +102,16 @@ class CoverageCollector:
         """Fold another collector's observations into this one."""
         self.global_counts.update(other.global_counts)
         self._known.update(other._known)
+
+    # -- checkpoint/resume (chunked campaign scheduling) -------------------
+
+    def checkpoint(self) -> CoverageState:
+        """Snapshot the cumulative counts and known set between test-runs."""
+        return CoverageState(counts=tuple(self.global_counts.items()),
+                             known=frozenset(self._known))
+
+    def restore(self, state: CoverageState) -> None:
+        """Replace this collector's cumulative state with a snapshot."""
+        self.global_counts = Counter(dict(state.counts))
+        self._known = set(state.known)
+        self._run_transitions = set()

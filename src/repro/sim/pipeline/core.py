@@ -22,7 +22,6 @@ observes - is exact.
 from __future__ import annotations
 
 import random
-from typing import Callable
 
 from repro.sim.coherence.base import InvalidationReason
 from repro.sim.config import SystemConfig

@@ -14,11 +14,11 @@ TSO-critical behaviour (and two of the studied bug sites):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from repro.sim.faults import Fault, FaultSet
-from repro.sim.testprogram import OpKind, TestOp
+from repro.sim.testprogram import TestOp
 
 
 @dataclass

@@ -1,0 +1,213 @@
+"""Checkpoint/resume of engines and campaigns (chunked scheduling).
+
+The work-stealing scheduler splits long campaigns into resumable chunks
+that may continue on *any* worker, so a campaign resumed from a pickled
+checkpoint in a freshly constructed Campaign must behave bit-for-bit
+identically to an uninterrupted run: same ``found``/``evaluations_to_find``,
+same coverage, same NDT history, same population trajectory.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignCheckpoint, GeneratorKind
+from repro.core.config import GeneratorConfig
+from repro.core.engine import VerificationEngine
+from repro.core.generator import RandomTestGenerator
+from repro.harness.scenarios import scenario_for
+from repro.sim.config import SystemConfig
+from repro.sim.faults import Fault, FaultSet
+
+
+def tiny_config(**overrides) -> GeneratorConfig:
+    defaults = dict(memory_kib=1, test_size=32, iterations=2,
+                    population_size=6)
+    defaults.update(overrides)
+    return GeneratorConfig.quick(**defaults)
+
+
+def make_campaign(kind: GeneratorKind, fault: Fault | None = Fault.SQ_NO_FIFO,
+                  seed: int = 99, chromosome=None) -> Campaign:
+    faults = FaultSet.of(fault) if fault is not None else FaultSet.none()
+    return Campaign(kind=kind, generator_config=tiny_config(),
+                    system_config=SystemConfig(), faults=faults, seed=seed,
+                    chromosome=chromosome)
+
+
+def result_fingerprint(result):
+    return (result.found, result.evaluations_to_find, result.evaluations,
+            result.total_coverage, tuple(result.ndt_history),
+            result.mean_ndt_final, tuple(result.detail))
+
+
+def run_chunked(make, max_evaluations: int, pause_after: int,
+                through_pickle: bool = True):
+    """Run a campaign in chunks, resuming each chunk in a fresh Campaign."""
+    checkpoint = None
+    chunks = 0
+    while True:
+        campaign = make()
+        result, checkpoint = campaign.run_chunk(max_evaluations,
+                                                checkpoint=checkpoint,
+                                                pause_after=pause_after)
+        chunks += 1
+        if result is not None:
+            return result, campaign, chunks
+        if through_pickle:
+            checkpoint = pickle.loads(pickle.dumps(checkpoint))
+
+
+class TestEngineCheckpoint:
+    def test_round_trip_restores_rng_and_counters(self):
+        config = tiny_config()
+        engine = VerificationEngine(config, SystemConfig(), seed=3)
+        generator = RandomTestGenerator(config, random.Random(1))
+        engine.run_test(generator.generate())
+        checkpoint = engine.checkpoint()
+        baseline = [engine.run_test(generator.generate())
+                    for _ in range(2)]
+        # A second engine restored from the checkpoint replays identically.
+        other = VerificationEngine(config, SystemConfig(), seed=3)
+        other.restore(pickle.loads(pickle.dumps(checkpoint)))
+        generator2 = RandomTestGenerator(config, random.Random(1))
+        generator2.generate()  # consume the chromosome the first engine saw
+        replayed = [other.run_test(generator2.generate()) for _ in range(2)]
+        assert other.test_runs == engine.test_runs
+        for ours, theirs in zip(baseline, replayed):
+            assert ours.fitness.fitness == theirs.fitness.fitness
+            assert ours.stats.rfco_run == theirs.stats.rfco_run
+        assert engine.coverage.global_counts == other.coverage.global_counts
+
+    def test_checkpoint_excludes_run_state(self):
+        engine = VerificationEngine(tiny_config(), SystemConfig(), seed=3)
+        engine.coverage.record("L1", "S", "Load")
+        checkpoint = engine.checkpoint()
+        engine.restore(checkpoint)
+        assert engine.coverage.run_transitions() == frozenset()
+        assert engine.coverage.global_counts
+
+
+class TestCampaignChunking:
+    @pytest.mark.parametrize("kind", [GeneratorKind.MCVERSI_RAND,
+                                      GeneratorKind.MCVERSI_ALL,
+                                      GeneratorKind.MCVERSI_STD_XO,
+                                      GeneratorKind.DIY_LITMUS])
+    def test_chunked_equals_uninterrupted(self, kind):
+        baseline = make_campaign(kind).run(20)
+        chunked, campaign, chunks = run_chunked(
+            lambda: make_campaign(kind), max_evaluations=20, pause_after=3)
+        assert chunks > 1
+        assert result_fingerprint(chunked) == result_fingerprint(baseline)
+
+    def test_chunked_not_found_equals_uninterrupted(self):
+        # The correct system never fails: the full evolution loop runs and
+        # every evaluation must replay identically across chunk boundaries.
+        baseline = make_campaign(GeneratorKind.MCVERSI_ALL, fault=None).run(15)
+        chunked, campaign, _ = run_chunked(
+            lambda: make_campaign(GeneratorKind.MCVERSI_ALL, fault=None),
+            max_evaluations=15, pause_after=4)
+        assert not chunked.found
+        assert result_fingerprint(chunked) == result_fingerprint(baseline)
+
+    def test_chunked_coverage_equals_uninterrupted(self):
+        reference = make_campaign(GeneratorKind.MCVERSI_RAND, fault=None)
+        reference.run(10)
+        _, resumed_campaign, _ = run_chunked(
+            lambda: make_campaign(GeneratorKind.MCVERSI_RAND, fault=None),
+            max_evaluations=10, pause_after=3)
+        assert (reference.coverage.global_counts
+                == resumed_campaign.coverage.global_counts)
+        assert (reference.coverage.known_transitions
+                == resumed_campaign.coverage.known_transitions)
+
+    def test_directed_scenario_chunked(self):
+        scenario = scenario_for(Fault.SQ_NO_FIFO)
+
+        def make():
+            return Campaign(kind=GeneratorKind.DIRECTED,
+                            generator_config=scenario.generator_config,
+                            system_config=scenario.system_config,
+                            faults=FaultSet.of(Fault.SQ_NO_FIFO), seed=7,
+                            chromosome=scenario.chromosome)
+
+        baseline = make().run(6)
+        chunked, _, _ = run_chunked(make, max_evaluations=6, pause_after=2)
+        assert result_fingerprint(chunked) == result_fingerprint(baseline)
+
+    def test_population_travels_in_checkpoint(self):
+        campaign = make_campaign(GeneratorKind.MCVERSI_ALL, fault=None)
+        result, checkpoint = campaign.run_chunk(12, pause_after=8)
+        assert result is None
+        assert checkpoint.population_members is not None
+        assert len(checkpoint.population_members) == 6  # capacity reached
+        assert checkpoint.population_births == 8
+        resumed = make_campaign(GeneratorKind.MCVERSI_ALL, fault=None)
+        resumed.restore(checkpoint)
+        assert resumed._population is not None
+        assert len(resumed._population.members) == 6
+
+    def test_pause_at_zero_evaluations(self):
+        campaign = make_campaign(GeneratorKind.MCVERSI_RAND)
+        result, checkpoint = campaign.run_chunk(5, pause_after=0)
+        assert result is None and checkpoint.evaluations == 0
+        resumed = make_campaign(GeneratorKind.MCVERSI_RAND)
+        final, _ = resumed.run_chunk(5, checkpoint=checkpoint)
+        reference = make_campaign(GeneratorKind.MCVERSI_RAND).run(5)
+        assert result_fingerprint(final) == result_fingerprint(reference)
+
+
+class TestConsumedCampaigns:
+    def test_rerun_of_finished_campaign_raises(self):
+        # Regression: counters persist on the instance, so a silent second
+        # run() would return a stale zero-work result.
+        campaign = make_campaign(GeneratorKind.MCVERSI_RAND, fault=None)
+        campaign.run(3)
+        with pytest.raises(RuntimeError, match="already ran to completion"):
+            campaign.run(3)
+
+    def test_paused_campaign_continues_in_place(self):
+        campaign = make_campaign(GeneratorKind.MCVERSI_RAND, fault=None)
+        result, _ = campaign.run_chunk(4, pause_after=2)
+        assert result is None
+        result, _ = campaign.run_chunk(4)  # same instance, no checkpoint
+        assert result is not None and result.evaluations == 4
+        reference = make_campaign(GeneratorKind.MCVERSI_RAND,
+                                  fault=None).run(4)
+        assert result_fingerprint(result) == result_fingerprint(reference)
+
+    def test_finished_campaign_accepts_checkpoint_resume(self):
+        campaign = make_campaign(GeneratorKind.MCVERSI_RAND, fault=None)
+        campaign.run(2)
+        _, checkpoint = make_campaign(GeneratorKind.MCVERSI_RAND,
+                                      fault=None).run_chunk(4, pause_after=2)
+        result, _ = campaign.run_chunk(4, checkpoint=checkpoint)
+        reference = make_campaign(GeneratorKind.MCVERSI_RAND,
+                                  fault=None).run(4)
+        assert result_fingerprint(result) == result_fingerprint(reference)
+
+
+class TestCheckpointValidation:
+    def test_restore_rejects_wrong_kind(self):
+        _, checkpoint = make_campaign(GeneratorKind.MCVERSI_RAND,
+                                      fault=None).run_chunk(5, pause_after=2)
+        other = make_campaign(GeneratorKind.MCVERSI_ALL)
+        with pytest.raises(ValueError, match="checkpoint belongs to"):
+            other.restore(checkpoint)
+
+    def test_restore_rejects_wrong_seed(self):
+        _, checkpoint = make_campaign(GeneratorKind.MCVERSI_RAND,
+                                      fault=None).run_chunk(5, pause_after=2)
+        other = make_campaign(GeneratorKind.MCVERSI_RAND, seed=100)
+        with pytest.raises(ValueError, match="seed"):
+            other.restore(checkpoint)
+
+    def test_checkpoint_is_picklable(self):
+        _, checkpoint = make_campaign(GeneratorKind.MCVERSI_ALL,
+                                      fault=None).run_chunk(
+            12, pause_after=8)
+        clone = pickle.loads(pickle.dumps(checkpoint))
+        assert isinstance(clone, CampaignCheckpoint)
+        assert clone.evaluations == checkpoint.evaluations
+        assert clone.rng_state == checkpoint.rng_state

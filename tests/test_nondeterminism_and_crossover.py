@@ -11,7 +11,6 @@ from repro.core.crossover import (fitaddr_fraction, mutate,
                                   single_point_crossover)
 from repro.core.generator import RandomTestGenerator
 from repro.core.nondeterminism import TestRunStats
-from repro.sim.testprogram import OpKind
 
 
 def stats_for(chromosome, conflict_edges, iterations=2):

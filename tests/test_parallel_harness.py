@@ -1,15 +1,21 @@
 """Tests for the parallel campaign orchestrator (repro.harness.parallel)."""
 
+import io
+from dataclasses import replace
+
 import pytest
 
 from repro.core.campaign import Campaign, CampaignResult, GeneratorKind
 from repro.core.config import GeneratorConfig
 from repro.harness.experiment import (BugCoverageExperiment, CoverageExperiment,
                                       ExperimentSettings)
-from repro.harness.parallel import (CampaignSpec, campaign_matrix,
+from repro.harness.parallel import (STATIC, WORK_STEALING, CampaignSpec,
+                                    SweepAccumulator, campaign_matrix,
                                     default_workers, derive_shard_seed,
-                                    run_campaigns, run_shard)
-from repro.harness.reporting import format_speedup, format_sweep_report
+                                    iter_campaigns, run_campaigns, run_shard,
+                                    run_shard_chunk)
+from repro.harness.reporting import (ProgressPrinter, format_progress_line,
+                                     format_speedup, format_sweep_report)
 from repro.harness.scenarios import run_scenario_sweep, scenario_specs
 from repro.sim.config import SystemConfig
 from repro.sim.faults import Fault, FaultSet
@@ -96,6 +102,162 @@ class TestOrchestrator:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            run_campaigns([], workers=1, scheduler="round-robin")
+
+    def test_iter_campaigns_validates_eagerly(self):
+        # The iterator mode must raise at call time, not on first next().
+        with pytest.raises(ValueError):
+            iter_campaigns([], workers=0)
+        with pytest.raises(ValueError):
+            iter_campaigns([], scheduler="typo")
+
+    def test_inapplicable_scheduler_options_rejected(self):
+        # Options only one scheduler honours must not be silently ignored.
+        with pytest.raises(ValueError, match="work-stealing"):
+            run_campaigns([], workers=4, scheduler=STATIC,
+                          chunk_evaluations=4)
+        with pytest.raises(ValueError, match="static"):
+            run_campaigns([], workers=4, scheduler=WORK_STEALING,
+                          chunksize=2)
+
+    def test_chunk_evaluations_must_be_positive(self):
+        with pytest.raises(ValueError, match="chunk_evaluations"):
+            run_campaigns([], workers=1, chunk_evaluations=0)
+
+
+def heterogeneous_specs(budgets=(15, 3, 3, 9, 3, 3, 12, 3)):
+    """A matrix with mixed per-shard budgets (the straggler scenario)."""
+    specs = tiny_matrix([Fault.SQ_NO_FIFO, None], seeds_per_cell=4,
+                        max_evaluations=1)
+    return [replace(spec, max_evaluations=budget)
+            for spec, budget in zip(specs, budgets)]
+
+
+class TestWorkStealingScheduler:
+    def test_heterogeneous_matrix_matches_serial(self):
+        specs = heterogeneous_specs()
+        serial = run_campaigns(specs, workers=1)
+        stealing = run_campaigns(specs, workers=4)
+        assert outcomes(serial) == outcomes(stealing)
+        assert serial.coverage.global_counts == stealing.coverage.global_counts
+
+    def test_chunked_matches_serial(self):
+        specs = heterogeneous_specs()
+        serial = run_campaigns(specs, workers=1)
+        chunked = run_campaigns(specs, workers=4, chunk_evaluations=2)
+        serial_chunked = run_campaigns(specs, workers=1, chunk_evaluations=2)
+        assert outcomes(serial) == outcomes(chunked)
+        assert outcomes(serial) == outcomes(serial_chunked)
+        assert serial.coverage.global_counts == chunked.coverage.global_counts
+
+    def test_static_scheduler_matches_serial(self):
+        specs = heterogeneous_specs()
+        serial = run_campaigns(specs, workers=1)
+        static = run_campaigns(specs, workers=4, scheduler=STATIC)
+        assert outcomes(serial) == outcomes(static)
+
+    def test_genetic_campaigns_chunk_deterministically(self):
+        # GP campaigns carry a population across chunk boundaries; mixed
+        # budgets force mid-evolution pauses and reschedules.
+        specs = campaign_matrix(kinds=[GeneratorKind.MCVERSI_ALL],
+                                faults=[None], generator_config=tiny_config(),
+                                system_config=SystemConfig(),
+                                max_evaluations=10, seeds_per_cell=3,
+                                base_seed=11)
+        specs = [replace(spec, max_evaluations=budget)
+                 for spec, budget in zip(specs, (10, 4, 14))]
+        serial = run_campaigns(specs, workers=1)
+        chunked = run_campaigns(specs, workers=3, chunk_evaluations=3)
+        assert outcomes(serial) == outcomes(chunked)
+        assert serial.coverage.global_counts == chunked.coverage.global_counts
+
+    def test_worker_error_is_surfaced(self):
+        bad = CampaignSpec(kind=GeneratorKind.DIRECTED,
+                           generator_config=tiny_config(),
+                           system_config=SystemConfig(), fault=None,
+                           seed=1, max_evaluations=2)  # missing chromosome
+        with pytest.raises(RuntimeError, match="failed in a worker"):
+            run_campaigns([bad, bad], workers=2, scheduler=WORK_STEALING)
+
+    def test_run_shard_chunk_pauses_and_resumes(self):
+        spec = heterogeneous_specs()[0]
+        shard, checkpoint = run_shard_chunk(spec, pause_after=2)
+        while shard is None:
+            shard, checkpoint = run_shard_chunk(spec, checkpoint,
+                                                pause_after=2)
+        reference = run_shard(spec)
+        assert (shard.result.found, shard.result.evaluations_to_find) == \
+            (reference.result.found, reference.result.evaluations_to_find)
+        assert (shard.coverage.global_counts
+                == reference.coverage.global_counts)
+
+
+class TestResultStreaming:
+    def test_iter_campaigns_yields_every_shard_once(self):
+        specs = heterogeneous_specs()
+        indices = [index for index, _ in
+                   iter_campaigns(specs, workers=4, chunk_evaluations=2)]
+        assert sorted(indices) == list(range(len(specs)))
+
+    def test_on_result_streams_in_completion_order(self):
+        specs = heterogeneous_specs()
+        streamed = []
+        report = run_campaigns(specs, workers=2,
+                               on_result=lambda s: streamed.append(s.spec.seed))
+        assert sorted(streamed) == sorted(spec.seed for spec in specs)
+        # The final report is matrix-ordered regardless of completion order.
+        assert [shard.spec.seed for shard in report.shards] == \
+            [spec.seed for spec in specs]
+
+    def test_sweep_accumulator_partial_reports(self):
+        specs = tiny_matrix([Fault.SQ_NO_FIFO], seeds_per_cell=2,
+                            max_evaluations=6)
+        accumulator = SweepAccumulator(total=len(specs), workers=1)
+        partials = []
+        for index, shard in iter_campaigns(specs, workers=1):
+            accumulator.add(index, shard)
+            partials.append(accumulator.partial_report())
+        assert [len(partial.shards) for partial in partials] == [1, 2]
+        final = accumulator.finalize()
+        assert len(final.shards) == 2
+        assert final.coverage.total_coverage() > 0.0
+        text = format_sweep_report(partials[0], title="partial")
+        assert "shards=1" in text
+
+    def test_sweep_accumulator_rejects_duplicates_and_early_finalize(self):
+        specs = tiny_matrix([Fault.SQ_NO_FIFO], seeds_per_cell=2,
+                            max_evaluations=2)
+        accumulator = SweepAccumulator(total=2)
+        with pytest.raises(RuntimeError, match="incomplete"):
+            accumulator.finalize()
+        index, shard = next(iter(iter_campaigns(specs, workers=1)))
+        accumulator.add(index, shard)
+        with pytest.raises(ValueError, match="already recorded"):
+            accumulator.add(index, shard)
+
+    def test_progress_line_and_printer(self):
+        line = format_progress_line(completed=3, total=8, found=2,
+                                    elapsed_seconds=1.5)
+        assert "3/8" in line and "bugs_found=2" in line
+        stream = io.StringIO()
+        printer = ProgressPrinter(total=2, stream=stream)
+        printer.update(completed=1, found=0, elapsed_seconds=0.1)
+        printer.update(completed=2, found=1, elapsed_seconds=0.2)
+        printer.finish()
+        output = stream.getvalue()
+        assert "\r" in output and output.endswith("\n")
+        assert "2/2" in output
+
+    def test_run_campaigns_progress_stream(self):
+        specs = tiny_matrix([Fault.SQ_NO_FIFO], seeds_per_cell=2,
+                            max_evaluations=2)
+        stream = io.StringIO()
+        run_campaigns(specs, workers=1, progress=True,
+                      progress_stream=stream)
+        assert "2/2" in stream.getvalue()
 
 
 class TestSweepReport:

@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.consistency.events import (Event, EventKind, init_write, read_event,
+from repro.consistency.events import (EventKind, init_write, read_event,
                                       write_event)
 from repro.consistency.relations import Relation
 
