@@ -40,6 +40,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.faults import Fault
 
 WORKERS = 4
+TCP_WORKERS = 2
 SEEDS = 8
 CHUNK_EVALUATIONS = 4
 #: Per-shard budgets of the heterogeneous sweep: two stragglers in front
@@ -105,6 +106,14 @@ def hetero_sweeps():
     return serial, stealing, static
 
 
+@pytest.fixture(scope="module")
+def tcp_sweep():
+    """The heterogeneous sweep served over loopback TCP to 2 workers."""
+    return run_campaigns(_hetero_specs(), workers=TCP_WORKERS,
+                         transport="tcp",
+                         chunk_evaluations=CHUNK_EVALUATIONS)
+
+
 def test_parallel_results_match_serial(sweeps, capsys):
     serial, parallel = sweeps
     assert _outcomes(serial) == _outcomes(parallel)
@@ -122,6 +131,18 @@ def test_heterogeneous_schedulers_match_serial(hetero_sweeps):
     assert _outcomes(serial) == _outcomes(stealing)
     assert _outcomes(serial) == _outcomes(static)
     assert serial.coverage.global_counts == stealing.coverage.global_counts
+
+
+def test_loopback_tcp_matches_serial(hetero_sweeps, tcp_sweep, capsys):
+    """Cross-host sharding over loopback TCP: still bit-identical."""
+    serial, _, _ = hetero_sweeps
+    assert _outcomes(serial) == _outcomes(tcp_sweep)
+    assert serial.coverage.global_counts == tcp_sweep.coverage.global_counts
+    with capsys.disabled():
+        print()
+        print("loopback tcp: "
+              + format_speedup(serial.wall_seconds, tcp_sweep.wall_seconds,
+                               TCP_WORKERS))
 
 
 def test_parallel_speedup(sweeps, benchmark, capsys):
@@ -157,7 +178,7 @@ def test_work_stealing_beats_static(hetero_sweeps, benchmark, capsys):
             f"static={static.wall_seconds:.2f}s")
 
 
-def test_bench_json_artifact(sweeps, hetero_sweeps):
+def test_bench_json_artifact(sweeps, hetero_sweeps, tcp_sweep):
     """Dump the measured numbers for CI's BENCH_parallel.json artifact."""
     path = os.environ.get("REPRO_BENCH_JSON")
     if not path:
@@ -180,6 +201,17 @@ def test_bench_json_artifact(sweeps, hetero_sweeps):
             "serial_seconds": hetero_serial.wall_seconds,
             "work_stealing_seconds": stealing.wall_seconds,
             "static_seconds": static.wall_seconds,
+        },
+        "distributed": {
+            # Same heterogeneous sweep served over loopback TCP: the
+            # cross-host transport's overhead trajectory (framing,
+            # heartbeats, worker-process startup) tracked per commit.
+            "transport": "tcp",
+            "tcp_workers": TCP_WORKERS,
+            "shards": len(tcp_sweep.shards),
+            "chunk_evaluations": CHUNK_EVALUATIONS,
+            "serial_seconds": hetero_serial.wall_seconds,
+            "loopback_tcp_seconds": tcp_sweep.wall_seconds,
         },
     }
     with open(path, "w", encoding="utf-8") as handle:

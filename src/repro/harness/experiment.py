@@ -20,9 +20,10 @@ from typing import Callable
 
 from repro.core.campaign import GeneratorKind
 from repro.core.config import GeneratorConfig
-from repro.harness.parallel import (WORK_STEALING, CampaignSpec,
-                                    CampaignSummary, ShardResult,
-                                    run_campaigns, system_for_fault)
+from repro.harness.parallel import (TRANSPORT_LOCAL, WORK_STEALING,
+                                    CampaignSpec, CampaignSummary,
+                                    ShardResult, run_campaigns,
+                                    system_for_fault)
 from repro.sim.config import SystemConfig, TestMemoryLayout
 from repro.sim.faults import Fault
 
@@ -33,10 +34,13 @@ class ExperimentSettings:
 
     ``workers`` schedules the experiment's campaign matrix across a
     multiprocessing pool (see :mod:`repro.harness.parallel`); per-campaign
-    seeds are fixed before scheduling, so any worker count, ``scheduler``
-    or ``chunk_evaluations`` choice reproduces the ``workers=1`` results
-    exactly.  ``chunk_evaluations`` splits long campaigns into resumable
-    chunks under the work-stealing scheduler.
+    seeds are fixed before scheduling, so any worker count, ``scheduler``,
+    ``transport`` or ``chunk_evaluations`` choice reproduces the
+    ``workers=1`` results exactly.  ``chunk_evaluations`` splits long
+    campaigns into resumable chunks under the work-stealing scheduler;
+    ``transport="tcp"`` serves those chunks to TCP workers via a
+    coordinator bound to ``coordinator`` instead of a local pool (see
+    :mod:`repro.harness.distributed`).
     """
 
     generator_config: GeneratorConfig
@@ -48,6 +52,9 @@ class ExperimentSettings:
     workers: int = 1
     scheduler: str = WORK_STEALING
     chunk_evaluations: int | None = None
+    transport: str = TRANSPORT_LOCAL
+    coordinator: object = None
+    lease_timeout: float = 30.0
 
     def with_memory(self, memory_kib: int) -> "ExperimentSettings":
         memory = TestMemoryLayout.kib(memory_kib)
@@ -62,6 +69,9 @@ class ExperimentSettings:
         return run_campaigns(specs, workers=self.workers,
                              scheduler=self.scheduler,
                              chunk_evaluations=self.chunk_evaluations,
+                             transport=self.transport,
+                             coordinator=self.coordinator,
+                             lease_timeout=self.lease_timeout,
                              on_result=on_result, progress=progress)
 
 

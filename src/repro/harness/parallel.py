@@ -49,6 +49,18 @@ single-process debugging stays trivial.
 Coverage is collected per shard and folded back together on the host via
 :meth:`repro.sim.coverage.CoverageCollector.merge`, so aggregate coverage
 reports see the union of all shards' observations.
+
+Transports
+----------
+The work-stealing scheduler is split into a transport-agnostic core and
+two transports.  :class:`ChunkScheduler` is the task source / result sink:
+it hands out :class:`ChunkTask` units, folds :class:`ChunkOutcome`\\ s back
+in (re-queuing paused chunks) and decides when the sweep is drained.  The
+in-process ``transport="local"`` drives it over :mod:`multiprocessing`
+queues; ``transport="tcp"`` (see :mod:`repro.harness.distributed`) serves
+the *same* scheduler to remote workers over a socket protocol with
+per-worker leases and fault-tolerant chunk re-queue, so a sweep can shard
+across hosts without touching the determinism contract.
 """
 
 from __future__ import annotations
@@ -57,6 +69,7 @@ import multiprocessing
 import os
 import queue
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from statistics import mean
 from typing import Callable, Iterator, TextIO
@@ -163,6 +176,141 @@ def run_shard_chunk(spec: CampaignSpec,
         return None, new_checkpoint
     return ShardResult(spec=spec, result=result,
                        coverage=campaign.coverage), None
+
+
+# ----------------------------------------------------------------------
+# Transport-agnostic scheduling core (task source / result sink)
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One schedulable unit of work: resume shard ``index`` and run a chunk.
+
+    Fully self-contained and picklable — a :class:`ChunkTask` can travel to
+    a worker process over a :mod:`multiprocessing` queue or to a remote
+    host over a socket and be executed there without any other context.
+    """
+
+    index: int
+    spec: CampaignSpec
+    checkpoint: CampaignCheckpoint | None = None
+    pause_after: int | None = None
+
+
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """What a worker reports back after executing one :class:`ChunkTask`.
+
+    Exactly one of three shapes: a completed shard (``shard`` set), a
+    paused chunk with budget remaining (``checkpoint`` set) or a failure
+    (``error`` set to a stringified exception, so the failure crosses
+    process/host boundaries without needing the exception to be picklable).
+    """
+
+    index: int
+    shard: ShardResult | None = None
+    checkpoint: CampaignCheckpoint | None = None
+    error: str | None = None
+
+
+def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
+    """Run one :class:`ChunkTask` in the current process (worker side).
+
+    Shared by every transport: the multiprocessing worker loop and the TCP
+    worker client both funnel their tasks through here, so worker behaviour
+    is identical whatever carried the task.
+    """
+    try:
+        shard, checkpoint = run_shard_chunk(task.spec, task.checkpoint,
+                                            task.pause_after)
+    except Exception as error:
+        return ChunkOutcome(index=task.index,
+                            error=f"{type(error).__name__}: {error}")
+    return ChunkOutcome(index=task.index, shard=shard, checkpoint=checkpoint)
+
+
+class ShardFailure(RuntimeError):
+    """A shard raised inside a worker; carries the stringified cause."""
+
+
+class ChunkScheduler:
+    """The transport-agnostic task source / result sink of one sweep.
+
+    Owns the chunked task queue the work-stealing scheduler and the TCP
+    coordinator both drain: :meth:`next_task` hands out the next
+    :class:`ChunkTask` (task-source side), :meth:`record` folds a
+    :class:`ChunkOutcome` back in (result-sink side) — re-queuing paused
+    chunks at the tail and returning completed shards — and
+    :meth:`requeue` puts a task a worker *lost* (died or stalled holding
+    it) back in the queue.  Re-queue is idempotent because every task is a
+    resumable checkpoint: re-running it reproduces the identical outcome,
+    and :meth:`record` drops duplicate completions of an already-finished
+    shard, so a result can never be lost *or* double-counted.
+
+    Not thread-safe by itself: the multiprocessing transport drives it from
+    a single host thread, the TCP coordinator wraps it in a lock.
+    """
+
+    def __init__(self, specs: list[CampaignSpec],
+                 chunk_evaluations: int | None = None) -> None:
+        self.specs = specs
+        self.chunk_evaluations = chunk_evaluations
+        self._queue: deque[ChunkTask] = deque(
+            ChunkTask(index=index, spec=spec, checkpoint=None,
+                      pause_after=chunk_evaluations)
+            for index, spec in enumerate(specs))
+        self._completed: set[int] = set()
+
+    @property
+    def total(self) -> int:
+        return len(self.specs)
+
+    @property
+    def pending(self) -> int:
+        """Shards not yet completed (queued or outstanding on workers)."""
+        return len(self.specs) - len(self._completed)
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def done(self) -> bool:
+        return self.pending == 0
+
+    def next_task(self) -> ChunkTask | None:
+        """The next task to hand to an idle worker (``None``: none queued)."""
+        return self._queue.popleft() if self._queue else None
+
+    def requeue(self, task: ChunkTask) -> None:
+        """Put back a task whose worker died or stalled while holding it."""
+        if task.index not in self._completed:
+            self._queue.append(task)
+
+    def record(self, outcome: ChunkOutcome) -> tuple[int, ShardResult] | None:
+        """Fold one worker outcome back in.
+
+        Returns ``(index, shard)`` when the outcome completed a shard,
+        ``None`` when it paused (the continuation is re-queued at the tail)
+        or duplicated an already-completed shard (a stale re-run after a
+        lease was re-queued: dropped, results are bit-identical anyway).
+        Raises :class:`ShardFailure` on a worker-side error.
+        """
+        if outcome.error is not None:
+            raise ShardFailure(
+                f"shard {outcome.index} "
+                f"({self.specs[outcome.index].describe()}) failed in a "
+                f"worker: {outcome.error}")
+        if outcome.index in self._completed:
+            return None
+        if outcome.shard is None:
+            self._queue.append(ChunkTask(
+                index=outcome.index, spec=self.specs[outcome.index],
+                checkpoint=outcome.checkpoint,
+                pause_after=self.chunk_evaluations))
+            return None
+        self._completed.add(outcome.index)
+        return outcome.index, outcome.shard
 
 
 # ----------------------------------------------------------------------
@@ -359,43 +507,64 @@ class SweepReport:
 # Orchestration
 
 
-def default_workers() -> int:
-    """Worker count matched to the CPUs this process may actually use."""
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux hosts
         return max(1, os.cpu_count() or 1)
 
 
+def default_workers() -> int:
+    """Worker count: ``REPRO_WORKERS`` if set, capped at available CPUs.
+
+    The environment override lets deployments (and the distributed worker
+    CLI) pin the worker count without threading a flag through every entry
+    point; it is still capped at the CPUs the process may use, because
+    oversubscribing pure-Python simulation workers only adds scheduling
+    noise.  An unset/empty variable falls back to the CPU count.
+    """
+    cpus = available_cpus()
+    override = os.environ.get("REPRO_WORKERS", "").strip()
+    if not override:
+        return cpus
+    try:
+        value = int(override)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_WORKERS must be a positive integer, got {override!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"REPRO_WORKERS must be a positive integer, got {override!r}")
+    return min(value, cpus)
+
+
 WORK_STEALING = "work-stealing"
 STATIC = "static"
 SCHEDULERS = (WORK_STEALING, STATIC)
 
+TRANSPORT_LOCAL = "local"
+TRANSPORT_TCP = "tcp"
+TRANSPORTS = (TRANSPORT_LOCAL, TRANSPORT_TCP)
+
 
 def _worker_loop(task_queue, result_queue) -> None:
-    """Work-stealing worker: pull (index, spec, checkpoint, pause) items.
+    """Work-stealing worker: pull :class:`ChunkTask` items until sentinel.
 
-    Runs one chunk per item and reports ``(index, shard, checkpoint,
-    error)`` back to the host; a ``None`` item is the shutdown sentinel.
-    Errors are stringified rather than re-raised so a failing shard takes
-    down the sweep with a diagnosable exception, not a hung queue.
+    Runs one chunk per item and reports a :class:`ChunkOutcome` back to
+    the host; a ``None`` item is the shutdown sentinel.  Errors are
+    stringified (inside :func:`execute_chunk_task`) rather than re-raised
+    so a failing shard takes down the sweep with a diagnosable exception,
+    not a hung queue.  KeyboardInterrupt / SystemExit deliberately
+    propagate: on Ctrl-C the worker must exit promptly, not keep draining
+    the queue.
     """
     while True:
-        item = task_queue.get()
-        if item is None:
+        task = task_queue.get()
+        if task is None:
             return
-        index, spec, checkpoint, pause_after = item
-        try:
-            shard, new_checkpoint = run_shard_chunk(spec, checkpoint,
-                                                    pause_after)
-            result_queue.put((index, shard, new_checkpoint, None))
-        except Exception as error:
-            # Shard failures cross the process boundary as strings so the
-            # host can raise a diagnosable error.  KeyboardInterrupt /
-            # SystemExit deliberately propagate: on Ctrl-C the worker must
-            # exit promptly, not keep draining the queue.
-            result_queue.put((index, None, None,
-                              f"{type(error).__name__}: {error}"))
+        result_queue.put(execute_chunk_task(task))
 
 
 def _iter_serial(specs: list[CampaignSpec],
@@ -448,6 +617,7 @@ def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
     """
     context = multiprocessing.get_context(mp_context)
     processes = min(workers, len(specs))
+    scheduler = ChunkScheduler(specs, chunk_evaluations)
     task_queue = context.Queue()
     result_queue = context.Queue()
     pool = [context.Process(target=_worker_loop,
@@ -456,13 +626,11 @@ def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
     for process in pool:
         process.start()
     try:
-        for index, spec in enumerate(specs):
-            task_queue.put((index, spec, None, chunk_evaluations))
-        pending = len(specs)
-        while pending:
+        while (task := scheduler.next_task()) is not None:
+            task_queue.put(task)
+        while not scheduler.done:
             try:
-                index, shard, checkpoint, error = result_queue.get(
-                    timeout=1.0)
+                outcome = result_queue.get(timeout=1.0)
             except queue.Empty:
                 # A worker killed outside Python (OOM, segfault) can never
                 # report the task it held; fail loudly instead of blocking
@@ -473,20 +641,16 @@ def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
                     codes = sorted({process.exitcode for process in dead})
                     raise RuntimeError(
                         f"{len(dead)} worker process(es) died with exit "
-                        f"code(s) {codes} while {pending} shard(s) were "
-                        "still pending") from None
+                        f"code(s) {codes} while {scheduler.pending} "
+                        "shard(s) were still pending") from None
                 continue
-            if error is not None:
-                raise RuntimeError(
-                    f"shard {index} ({specs[index].describe()}) failed "
-                    f"in a worker: {error}")
-            if shard is None:
+            completed = scheduler.record(outcome)
+            if completed is None:
                 # Chunk paused with budget left: re-queue for any worker.
-                task_queue.put((index, specs[index], checkpoint,
-                                chunk_evaluations))
+                while (task := scheduler.next_task()) is not None:
+                    task_queue.put(task)
             else:
-                pending -= 1
-                yield index, shard
+                yield completed
     finally:
         for _ in pool:
             task_queue.put(None)
@@ -502,7 +666,11 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
                    mp_context: str | None = None,
                    scheduler: str = WORK_STEALING,
                    chunk_evaluations: int | None = None,
-                   chunksize: int | None = None
+                   chunksize: int | None = None,
+                   transport: str = TRANSPORT_LOCAL,
+                   coordinator: object = None,
+                   lease_timeout: float = 30.0,
+                   hosts_out: dict | None = None
                    ) -> Iterator[tuple[int, ShardResult]]:
     """Stream ``(shard_index, ShardResult)`` pairs as shards complete.
 
@@ -511,9 +679,19 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
     its matrix index so consumers can reassemble deterministic reports.
     Arguments are validated eagerly (at call time), not when the returned
     iterator is first advanced.
+
+    ``transport="tcp"`` serves the same chunked task queue to TCP workers
+    instead of a local multiprocessing pool: the calling process becomes
+    the coordinator (bound to ``coordinator``, a ``(host, port)`` pair or
+    ``"host:port"`` string, loopback-ephemeral by default), ``workers``
+    local worker processes are spawned against it (``workers=0``: none —
+    remote workers connect on their own), and chunks held by dead or
+    stalled workers are re-queued after ``lease_timeout`` seconds.  See
+    :mod:`repro.harness.distributed`.
     """
-    if workers < 1:
-        raise ValueError("workers must be at least 1")
+    if transport not in TRANSPORTS:
+        raise ValueError(f"unknown transport {transport!r}; "
+                         f"expected one of {TRANSPORTS}")
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler {scheduler!r}; "
                          f"expected one of {SCHEDULERS}")
@@ -527,6 +705,30 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
         raise ValueError("chunksize configures the static scheduler's "
                          "partition; the work-stealing queue hands out "
                          "single chunks")
+    if transport == TRANSPORT_TCP:
+        if scheduler != WORK_STEALING:
+            raise ValueError("the tcp transport serves the work-stealing "
+                             "chunk queue; scheduler must be "
+                             f"{WORK_STEALING!r}")
+        if mp_context is not None:
+            raise ValueError("mp_context configures the local "
+                             "multiprocessing transport; tcp workers are "
+                             "separate processes with their own start "
+                             "method")
+        if workers < 0:
+            raise ValueError("workers must be at least 0 for the tcp "
+                             "transport (0: external workers only)")
+        from repro.harness.distributed import iter_distributed
+
+        return iter_distributed(specs, coordinator=coordinator,
+                                workers=workers,
+                                chunk_evaluations=chunk_evaluations,
+                                lease_timeout=lease_timeout,
+                                hosts_out=hosts_out)
+    if coordinator is not None:
+        raise ValueError("coordinator requires transport='tcp'")
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
     if workers == 1 or len(specs) <= 1:
         return _iter_serial(specs, chunk_evaluations)
     if scheduler == STATIC:
@@ -592,6 +794,9 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                   chunksize: int | None = None,
                   scheduler: str = WORK_STEALING,
                   chunk_evaluations: int | None = None,
+                  transport: str = TRANSPORT_LOCAL,
+                  coordinator: object = None,
+                  lease_timeout: float = 30.0,
                   on_result: Callable[[ShardResult], None] | None = None,
                   progress: bool = False,
                   progress_stream: TextIO | None = None) -> SweepReport:
@@ -602,16 +807,23 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
     ``workers>1`` schedules the matrix with the chosen ``scheduler`` (see
     the module docstring); ``chunk_evaluations`` splits long campaigns into
     resumable chunks under the work-stealing scheduler.
+    ``transport="tcp"`` serves the chunk queue to TCP workers instead of a
+    local pool (see :func:`iter_campaigns` and
+    :mod:`repro.harness.distributed`); per-shard results are bit-identical
+    either way.
 
     ``on_result`` is invoked on the host with each :class:`ShardResult` in
     completion order, while other shards are still running; ``progress=True``
     additionally maintains a live one-line progress display (stderr by
-    default).  The returned report always lists shards in matrix order, so
-    downstream tables are independent of completion order.
+    default) including per-host completion counts on the tcp transport.
+    The returned report always lists shards in matrix order, so downstream
+    tables are independent of completion order.
     """
     started = time.perf_counter()
     accumulator = SweepAccumulator(total=len(specs), workers=workers)
     printer = None
+    hosts: dict[str, int] | None = (
+        {} if transport == TRANSPORT_TCP and progress else None)
     if progress:
         from repro.harness.reporting import ProgressPrinter
 
@@ -620,14 +832,19 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                                        mp_context=mp_context,
                                        scheduler=scheduler,
                                        chunk_evaluations=chunk_evaluations,
-                                       chunksize=chunksize):
+                                       chunksize=chunksize,
+                                       transport=transport,
+                                       coordinator=coordinator,
+                                       lease_timeout=lease_timeout,
+                                       hosts_out=hosts):
         accumulator.add(index, shard)
         if on_result is not None:
             on_result(shard)
         if printer is not None:
             printer.update(completed=accumulator.completed,
                            found=accumulator.found_count,
-                           elapsed_seconds=accumulator.elapsed_seconds)
+                           elapsed_seconds=accumulator.elapsed_seconds,
+                           hosts=hosts)
     if printer is not None:
         printer.finish()
     return accumulator.finalize(time.perf_counter() - started)

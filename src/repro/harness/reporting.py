@@ -59,12 +59,31 @@ def format_sweep_report(report: "SweepReport",
     return f"{table}\n{footer}"
 
 
+def format_host_progress(hosts: dict[str, int]) -> str:
+    """Per-host completion counts of a distributed sweep, stable order.
+
+    Coordinator handler threads update the counts concurrently, so take an
+    atomic (C-level) snapshot before iterating — sorting the live dict
+    could raise ``dictionary changed size during iteration`` mid-sweep.
+    """
+    return " ".join(f"{host}={count}"
+                    for host, count in sorted(hosts.copy().items()))
+
+
 def format_progress_line(completed: int, total: int, found: int,
-                         elapsed_seconds: float) -> str:
-    """One-line sweep progress: shards done, bugs found, elapsed time."""
+                         elapsed_seconds: float,
+                         hosts: dict[str, int] | None = None) -> str:
+    """One-line sweep progress: shards done, bugs found, elapsed time.
+
+    ``hosts`` (worker name -> completed shards, maintained by the TCP
+    coordinator) appends per-host progress for distributed sweeps.
+    """
     percent = completed / total if total else 1.0
-    return (f"[{completed}/{total} shards, {percent:.0%}] "
+    line = (f"[{completed}/{total} shards, {percent:.0%}] "
             f"bugs_found={found} elapsed={elapsed_seconds:.1f}s")
+    if hosts:
+        line += f" hosts: {format_host_progress(hosts)}"
+    return line
 
 
 class ProgressPrinter:
@@ -82,9 +101,10 @@ class ProgressPrinter:
         self._last_width = 0
 
     def update(self, completed: int, found: int,
-               elapsed_seconds: float) -> None:
+               elapsed_seconds: float,
+               hosts: dict[str, int] | None = None) -> None:
         line = format_progress_line(completed, self.total, found,
-                                    elapsed_seconds)
+                                    elapsed_seconds, hosts=hosts)
         padding = " " * max(0, self._last_width - len(line))
         self._last_width = len(line)
         try:

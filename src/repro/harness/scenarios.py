@@ -283,13 +283,17 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                        workers: int = 1,
                        scheduler: str = "work-stealing",
                        chunk_evaluations: int | None = None,
+                       transport: str = "local",
+                       coordinator: object = None,
+                       lease_timeout: float = 30.0,
                        on_result=None,
                        progress: bool = False) -> "SweepReport":
     """Run the directed scenarios through the parallel orchestrator.
 
     Scheduling options mirror :func:`repro.harness.parallel.run_campaigns`:
     the default work-stealing scheduler streams each scenario's verdict to
-    ``on_result`` as it completes.
+    ``on_result`` as it completes, and ``transport="tcp"`` shards the
+    scenarios across TCP workers (see :mod:`repro.harness.distributed`).
     """
     from repro.harness.parallel import run_campaigns
 
@@ -299,6 +303,8 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                            time_limit_seconds=time_limit_seconds)
     return run_campaigns(specs, workers=workers, scheduler=scheduler,
                          chunk_evaluations=chunk_evaluations,
+                         transport=transport, coordinator=coordinator,
+                         lease_timeout=lease_timeout,
                          on_result=on_result, progress=progress)
 
 

@@ -106,6 +106,10 @@ class LitmusTest:
     num_addresses: int
     forbidden_under_tso: bool
     forbidden_under_sc: bool = True
+    #: op_id of each cycle event, in cycle order (event ``i`` is the source
+    #: of ``cycle[i]``); lets :mod:`repro.litmus.witness` rebuild the
+    #: critical-cycle candidate execution for the axiomatic checker.
+    cycle_op_ids: tuple[int, ...] = ()
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         edges = " ".join(edge.name for edge in self.cycle)
@@ -119,6 +123,7 @@ class _CycleEvent:
     thread: int
     address_index: int
     fence_before: bool = False
+    op_id: int = -1
 
 
 def _validate_cycle(edges: list[CycleEdge]) -> None:
@@ -217,6 +222,7 @@ def generate_from_cycle(name: str, edge_names: list[str],
                             address=address, value=slot_index + 1)
             else:
                 op = TestOp(op_id=slot_index, kind=OpKind.READ, address=address)
+            event.op_id = slot_index
             slots.append((pid, op))
             slot_index += 1
 
@@ -225,4 +231,5 @@ def generate_from_cycle(name: str, edge_names: list[str],
                             for edge in edges)
     return LitmusTest(name=name, cycle=tuple(edges), chromosome=chromosome,
                       num_threads=num_threads, num_addresses=num_addresses,
-                      forbidden_under_tso=forbidden_tso)
+                      forbidden_under_tso=forbidden_tso,
+                      cycle_op_ids=tuple(event.op_id for event in events))

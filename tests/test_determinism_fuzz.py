@@ -1,0 +1,105 @@
+"""Differential determinism fuzz: every scheduler ≡ serial, bit for bit.
+
+A seed-driven loop builds randomized heterogeneous campaign matrices
+(generator kinds × faults × seeds × per-shard budgets × chunk sizes) and
+runs each through every execution mode — serial, serial-chunked, static
+pool, work-stealing pool and (for the first seed) a loopback-TCP
+coordinator with real worker subprocesses.  All modes must produce
+identical per-shard outcomes, identical merged coverage and identical
+deterministic :class:`CampaignSummary` fields.  Timing fields
+(``sim_seconds``/``check_seconds``/``wall_seconds``) are measured
+wall-clock and are the one deliberate exclusion.
+
+This is the determinism contract that makes cross-host sharding safe: a
+chunk may be re-queued, re-run or migrated anywhere without changing any
+reported result.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core.campaign import GeneratorKind
+from repro.core.config import GeneratorConfig
+from repro.harness.parallel import campaign_matrix, run_campaigns
+from repro.sim.config import SystemConfig
+from repro.sim.faults import Fault
+
+KIND_POOL = [GeneratorKind.MCVERSI_RAND, GeneratorKind.MCVERSI_ALL,
+             GeneratorKind.MCVERSI_STD_XO, GeneratorKind.DIY_LITMUS]
+FAULT_POOL = [None, Fault.SQ_NO_FIFO, Fault.LQ_NO_TSO,
+              Fault.MESI_LQ_IS_INV, Fault.TSOCC_COMPARE]
+MAX_SHARDS = 6
+
+
+def random_sweep(fuzz_seed: int):
+    """A randomized heterogeneous (kinds × faults × seeds) matrix."""
+    rng = random.Random(0xF022 + fuzz_seed)
+    kinds = rng.sample(KIND_POOL, k=rng.randint(1, 2))
+    faults = rng.sample(FAULT_POOL, k=rng.randint(1, 2))
+    config = GeneratorConfig.quick(memory_kib=rng.choice((1, 8)),
+                                   test_size=32, iterations=2,
+                                   population_size=6)
+    specs = campaign_matrix(kinds=kinds, faults=faults,
+                            generator_config=config,
+                            system_config=SystemConfig(),
+                            max_evaluations=1,
+                            seeds_per_cell=rng.randint(1, 2),
+                            base_seed=rng.randint(1, 10_000))[:MAX_SHARDS]
+    # Heterogeneous per-shard budgets: the straggler/re-queue scenario.
+    specs = [replace(spec, max_evaluations=rng.randint(2, 5))
+             for spec in specs]
+    chunk_evaluations = rng.randint(1, 3)
+    workers = rng.randint(2, 3)
+    return specs, chunk_evaluations, workers
+
+
+def outcome_view(report):
+    return [(shard.spec.seed, shard.result.found,
+             shard.result.evaluations_to_find, shard.result.evaluations)
+            for shard in report.shards]
+
+
+def summary_view(report):
+    """Every deterministic CampaignSummary field, in matrix order."""
+    return [(summary.kind, summary.fault, summary.memory_kib,
+             summary.protocol, summary.generator_label, summary.bug_label,
+             summary.samples, summary.found_count, summary.consistent,
+             summary.evaluations_to_find(),
+             summary.evaluations_quantile(0.5),
+             summary.evaluations_quantile(0.9),
+             summary.mean_evaluations_to_find, summary.label())
+            for summary in report.summaries()]
+
+
+@pytest.mark.parametrize("fuzz_seed", range(3))
+def test_all_schedulers_match_serial(fuzz_seed):
+    specs, chunk_evaluations, workers = random_sweep(fuzz_seed)
+    serial = run_campaigns(specs, workers=1)
+    reference_outcomes = outcome_view(serial)
+    reference_summaries = summary_view(serial)
+
+    modes = {
+        "serial-chunked": dict(workers=1,
+                               chunk_evaluations=chunk_evaluations),
+        "static": dict(workers=workers, scheduler="static"),
+        "work-stealing": dict(workers=workers,
+                              chunk_evaluations=chunk_evaluations),
+    }
+    if fuzz_seed == 0:
+        # Loopback-TCP coordinator with real worker subprocesses: the
+        # expensive mode runs on one representative random matrix.
+        modes["loopback-tcp"] = dict(workers=2, transport="tcp",
+                                     chunk_evaluations=chunk_evaluations)
+    for mode, options in modes.items():
+        report = run_campaigns(specs, **options)
+        assert outcome_view(report) == reference_outcomes, (
+            f"fuzz seed {fuzz_seed}: {mode} outcomes diverged from serial")
+        assert summary_view(report) == reference_summaries, (
+            f"fuzz seed {fuzz_seed}: {mode} summaries diverged from serial")
+        assert (report.coverage.global_counts
+                == serial.coverage.global_counts), (
+            f"fuzz seed {fuzz_seed}: {mode} coverage diverged from serial")
+        assert (report.coverage.known_transitions
+                == serial.coverage.known_transitions)

@@ -1,0 +1,477 @@
+"""Tests for cross-host campaign sharding (repro.harness.distributed).
+
+Three layers:
+
+* protocol unit tests for the length-prefixed pickle framing and the
+  version handshake: truncated frames, oversized frames, connection drops
+  mid-message and version-mismatch hellos all raise clean
+  :class:`ProtocolError`\\ s instead of hanging;
+* loopback integration: a coordinator plus real worker subprocesses on
+  localhost reproduce the ``workers=1`` serial sweep bit for bit;
+* chaos: a worker that dies abruptly (SIGKILL-equivalent) or stalls
+  without heartbeats mid-chunk forfeits its lease, the chunk is re-queued
+  exactly once, and the sweep still completes with correct,
+  non-duplicated results.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core.campaign import GeneratorKind
+from repro.core.config import GeneratorConfig
+from repro.harness import parallel
+from repro.harness.distributed import (PROTOCOL_MAGIC, PROTOCOL_VERSION,
+                                       ConnectionClosed, Coordinator,
+                                       FrameTooLargeError, ProtocolError,
+                                       TruncatedFrameError, format_address,
+                                       parse_address, reap_workers,
+                                       recv_frame, resolve_worker_count,
+                                       run_worker, send_frame,
+                                       spawn_local_workers)
+from repro.harness.parallel import (SweepAccumulator, campaign_matrix,
+                                    default_workers, run_campaigns)
+from repro.sim.config import SystemConfig
+from repro.sim.faults import Fault
+
+
+def tiny_config():
+    return GeneratorConfig.quick(memory_kib=1, test_size=32, iterations=2,
+                                 population_size=6)
+
+
+def tiny_matrix(faults=(Fault.SQ_NO_FIFO, None), seeds_per_cell=2,
+                max_evaluations=5, base_seed=7,
+                kinds=(GeneratorKind.MCVERSI_RAND,)):
+    return campaign_matrix(kinds=list(kinds), faults=list(faults),
+                           generator_config=tiny_config(),
+                           system_config=SystemConfig(),
+                           max_evaluations=max_evaluations,
+                           seeds_per_cell=seeds_per_cell,
+                           base_seed=base_seed)
+
+
+def outcomes(report):
+    return [(shard.result.found, shard.result.evaluations_to_find)
+            for shard in report.shards]
+
+
+# ----------------------------------------------------------------------
+# Framing / protocol unit tests
+
+
+@pytest.fixture
+def sock_pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, sock_pair):
+        left, right = sock_pair
+        message = ("task", {"numbers": list(range(100))})
+        send_frame(left, message)
+        assert recv_frame(right) == message
+
+    def test_multiple_frames_in_sequence(self, sock_pair):
+        left, right = sock_pair
+        for index in range(5):
+            send_frame(left, ("heartbeat", index))
+        for index in range(5):
+            assert recv_frame(right) == ("heartbeat", index)
+
+    def test_clean_close_raises_connection_closed(self, sock_pair):
+        left, right = sock_pair
+        left.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(right)
+
+    def test_truncated_header_raises(self, sock_pair):
+        left, right = sock_pair
+        left.sendall(b"\x00\x00\x00")  # partial length prefix, then EOF
+        left.close()
+        with pytest.raises(TruncatedFrameError, match="mid-message"):
+            recv_frame(right)
+
+    def test_connection_drop_mid_payload_raises(self, sock_pair):
+        left, right = sock_pair
+        left.sendall(struct.pack(">Q", 1 << 16) + b"x" * 100)
+        left.close()
+        with pytest.raises(TruncatedFrameError, match="mid-message"):
+            recv_frame(right)
+
+    def test_mid_frame_stall_raises_instead_of_hanging(self, sock_pair):
+        left, right = sock_pair
+        right.settimeout(0.05)
+        left.sendall(b"\x00\x00\x00\x00")  # partial header, then silence
+        with pytest.raises(TruncatedFrameError, match="stalled"):
+            recv_frame(right, stall_timeout=0.3)
+
+    def test_oversized_frame_announcement_rejected(self, sock_pair):
+        left, right = sock_pair
+        left.sendall(struct.pack(">Q", 1 << 40))
+        with pytest.raises(FrameTooLargeError, match="announced"):
+            recv_frame(right, max_frame_bytes=1 << 20)
+
+    def test_oversized_send_refused_locally(self, sock_pair):
+        left, _ = sock_pair
+        with pytest.raises(FrameTooLargeError, match="refusing to send"):
+            send_frame(left, b"x" * 4096, max_frame_bytes=64)
+
+    def test_malformed_payload_raises_protocol_error(self, sock_pair):
+        left, right = sock_pair
+        payload = b"\x80not a pickle"
+        left.sendall(struct.pack(">Q", len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="malformed"):
+            recv_frame(right)
+
+
+class TestAddresses:
+    def test_parse_forms(self):
+        assert parse_address(None) == ("127.0.0.1", 0)
+        assert parse_address("10.0.0.5:7777") == ("10.0.0.5", 7777)
+        assert parse_address(":7777") == ("127.0.0.1", 7777)
+        assert parse_address(("host", 12)) == ("host", 12)
+        assert format_address(("h", 1)) == "h:1"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+        with pytest.raises(ValueError):
+            parse_address(42)
+
+
+class TestHandshake:
+    def test_version_mismatch_hello_is_rejected_cleanly(self):
+        server = Coordinator(tiny_matrix(seeds_per_cell=1), lease_timeout=5.0)
+        try:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                send_frame(sock, ("hello", PROTOCOL_MAGIC,
+                                  PROTOCOL_VERSION + 1, "time-traveller"))
+                reply = recv_frame(sock)
+                assert reply[0] == "error"
+                assert "version mismatch" in reply[1]
+        finally:
+            server.close()
+
+    def test_non_hello_peer_is_rejected(self):
+        server = Coordinator(tiny_matrix(seeds_per_cell=1), lease_timeout=5.0)
+        try:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                send_frame(sock, "GET / HTTP/1.1")
+                reply = recv_frame(sock)
+                assert reply[0] == "error"
+        finally:
+            server.close()
+
+    def test_worker_rejects_mismatched_coordinator(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        address = listener.getsockname()[:2]
+
+        def fake_coordinator():
+            connection, _ = listener.accept()
+            with connection:
+                recv_frame(connection)  # the hello
+                send_frame(connection, ("welcome", PROTOCOL_MAGIC,
+                                        PROTOCOL_VERSION + 9, 0))
+                try:
+                    recv_frame(connection)
+                except ProtocolError:
+                    pass
+
+        thread = threading.Thread(target=fake_coordinator, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(ProtocolError, match="version mismatch"):
+                run_worker(address, name="w")
+        finally:
+            listener.close()
+            thread.join(timeout=5)
+
+    def test_silent_peer_is_dropped_after_handshake_timeout(self):
+        """A connection that never sends a hello must not pin a handler."""
+        server = Coordinator(tiny_matrix(seeds_per_cell=1), lease_timeout=5.0,
+                             handshake_timeout=0.6)
+        try:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                sock.settimeout(5.0)
+                # Send nothing: the coordinator should drop us, observable
+                # as EOF, and stop counting us as an active worker.
+                with pytest.raises(ConnectionClosed):
+                    recv_frame(sock)
+            deadline = time.monotonic() + 5.0
+            while server.active_workers and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert server.active_workers == 0
+        finally:
+            server.close()
+
+    def test_trickling_peer_dropped_after_mid_frame_stall(self):
+        """A peer that starts a frame and stalls is dropped, not served."""
+        server = Coordinator(tiny_matrix(seeds_per_cell=1), lease_timeout=5.0,
+                             handshake_timeout=0.5)
+        try:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                sock.sendall(b"\x00\x00\x00")  # begin a frame, never finish
+                sock.settimeout(5.0)
+                with pytest.raises((ProtocolError, OSError)):
+                    recv_frame(sock)  # coordinator closes on us
+            deadline = time.monotonic() + 5.0
+            while server.active_workers and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert server.active_workers == 0
+        finally:
+            server.close()
+
+    def test_lease_timeout_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Coordinator([], lease_timeout=0.0)
+
+
+# ----------------------------------------------------------------------
+# Worker-count resolution (REPRO_WORKERS)
+
+
+class TestWorkerCount:
+    def test_default_workers_uses_cpus(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 6)
+        assert default_workers() == 6
+
+    def test_env_override_respected(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 8)
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_override_capped_at_cpus(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 4)
+        monkeypatch.setenv("REPRO_WORKERS", "64")
+        assert default_workers() == 4
+
+    @pytest.mark.parametrize("value", ["zero", "", "0", "-2", "1.5"])
+    def test_invalid_env_override(self, monkeypatch, value):
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 4)
+        monkeypatch.setenv("REPRO_WORKERS", value)
+        if value.strip() == "":
+            assert default_workers() == 4  # unset/empty: fall back
+        else:
+            with pytest.raises(ValueError, match="REPRO_WORKERS"):
+                default_workers()
+
+    def test_worker_cli_resolution(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 8)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert resolve_worker_count(None) == 2       # env honoured
+        assert resolve_worker_count(5) == 5          # explicit flag wins
+        with pytest.raises(ValueError):
+            resolve_worker_count(0)
+
+
+# ----------------------------------------------------------------------
+# Transport selection plumbing
+
+
+class TestTransportValidation:
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            run_campaigns([], transport="carrier-pigeon")
+
+    def test_coordinator_requires_tcp(self):
+        with pytest.raises(ValueError, match="transport='tcp'"):
+            run_campaigns([], coordinator="127.0.0.1:1")
+
+    def test_tcp_requires_work_stealing(self):
+        with pytest.raises(ValueError, match="work-stealing"):
+            run_campaigns([], transport="tcp", scheduler="static")
+
+    def test_tcp_rejects_negative_workers(self):
+        with pytest.raises(ValueError, match="at least 0"):
+            run_campaigns([], transport="tcp", workers=-1)
+
+    def test_tcp_rejects_mp_context(self):
+        with pytest.raises(ValueError, match="mp_context"):
+            run_campaigns([], transport="tcp", mp_context="fork")
+
+
+# ----------------------------------------------------------------------
+# Loopback integration
+
+
+class TestLoopbackSweep:
+    def test_tcp_sweep_matches_serial_bit_for_bit(self):
+        specs = tiny_matrix()
+        serial = run_campaigns(specs, workers=1)
+        distributed = run_campaigns(specs, workers=2, transport="tcp",
+                                    chunk_evaluations=2)
+        assert outcomes(serial) == outcomes(distributed)
+        assert (serial.coverage.global_counts
+                == distributed.coverage.global_counts)
+        # Matrix order is restored regardless of completion order.
+        assert [shard.spec.seed for shard in distributed.shards] == \
+            [spec.seed for spec in specs]
+
+    def test_empty_sweep_over_tcp(self):
+        report = run_campaigns([], transport="tcp", workers=1)
+        assert report.shards == [] and report.found_count == 0
+
+    def test_per_host_progress_reaches_printer(self):
+        import io
+
+        specs = tiny_matrix(faults=[Fault.SQ_NO_FIFO], seeds_per_cell=2,
+                            max_evaluations=3)
+        stream = io.StringIO()
+        run_campaigns(specs, workers=1, transport="tcp",
+                      chunk_evaluations=2, progress=True,
+                      progress_stream=stream)
+        text = stream.getvalue()
+        assert "2/2" in text
+        assert "hosts:" in text and "worker-0=" in text
+
+    def test_shard_failure_propagates_from_tcp_worker(self):
+        bad = parallel.CampaignSpec(
+            kind=GeneratorKind.DIRECTED, generator_config=tiny_config(),
+            system_config=SystemConfig(), fault=None,
+            seed=1, max_evaluations=2)  # missing chromosome
+        with pytest.raises(RuntimeError, match="failed in a worker"):
+            run_campaigns([bad, bad], workers=1, transport="tcp")
+
+
+# ----------------------------------------------------------------------
+# Chaos / fault tolerance
+
+
+def serve_with_workers(specs, chunk_evaluations, lease_timeout,
+                       healthy_workers, healthy_args=(), chaos_args=(),
+                       chaos_workers=1):
+    """Run a sweep on a loopback coordinator with real worker processes."""
+    server = Coordinator(specs, chunk_evaluations=chunk_evaluations,
+                         lease_timeout=lease_timeout)
+    processes = spawn_local_workers(server.address, healthy_workers,
+                                    extra_args=healthy_args)
+    if chaos_args:
+        processes += spawn_local_workers(server.address, chaos_workers,
+                                         name_prefix="chaos",
+                                         extra_args=chaos_args)
+    accumulator = SweepAccumulator(total=len(specs))
+    try:
+        for index, shard in server.serve():
+            # SweepAccumulator.add raises on duplicates, so completing this
+            # loop proves no shard was double-delivered.
+            accumulator.add(index, shard)
+        return accumulator.finalize(), server
+    finally:
+        server.close()
+        for process in processes:
+            process.kill()
+        reap_workers(processes)
+
+
+class TestChaos:
+    def test_killed_worker_chunk_requeued_exactly_once(self):
+        """SIGKILL-equivalent death mid-chunk: no loss, no duplication.
+
+        The chaos worker completes one chunk, then dies abruptly
+        (``os._exit``) on its next assignment — while holding a leased
+        chunk, exactly like a SIGKILL mid-chunk.  The coordinator must
+        re-queue that chunk exactly once and the sweep must still match
+        the serial run bit for bit.
+        """
+        specs = tiny_matrix(seeds_per_cell=3, max_evaluations=6)
+        serial = run_campaigns(specs, workers=1)
+        report, server = serve_with_workers(
+            specs, chunk_evaluations=2, lease_timeout=20.0,
+            healthy_workers=2,
+            chaos_args=("--chaos-die-after-chunks", "1"))
+        assert outcomes(report) == outcomes(serial)
+        assert report.coverage.global_counts == serial.coverage.global_counts
+        assert server.stats.total_requeues == 1
+        assert max(server.stats.requeues.values()) == 1
+        assert server.stats.disconnects >= 1
+
+    def test_stalled_worker_lease_expires_and_requeues(self):
+        """A worker that hangs without heartbeats forfeits its chunk."""
+        specs = tiny_matrix(seeds_per_cell=2, max_evaluations=6, base_seed=3)
+        serial = run_campaigns(specs, workers=1)
+        # Healthy workers heartbeat well inside the short lease window,
+        # so only the stalled worker can ever expire a lease.
+        report, server = serve_with_workers(
+            specs, chunk_evaluations=2, lease_timeout=1.5,
+            healthy_workers=2,
+            healthy_args=("--heartbeat-interval", "0.3"),
+            chaos_args=("--chaos-hang-after-chunks", "1",
+                        "--heartbeat-interval", "0.3"))
+        assert outcomes(report) == outcomes(serial)
+        assert server.stats.total_requeues == 1
+        assert max(server.stats.requeues.values()) == 1
+
+    def test_all_spawned_workers_dead_fails_loudly(self, monkeypatch):
+        """If every spawned worker dies, the sweep raises instead of hanging.
+
+        Mirrors the local transport's dead-worker detection: the watchdog
+        notices that no spawned process survives and no other connection
+        is open, and aborts the sweep with a diagnosable error.
+        """
+        import repro.harness.distributed as distributed
+
+        real_spawn = distributed.spawn_local_workers
+
+        def doomed_spawn(address, count, **_kwargs):
+            # Every spawned worker dies abruptly on its first assignment.
+            return real_spawn(address, count, name_prefix="doomed",
+                              extra_args=("--chaos-die-after-chunks", "0"))
+
+        monkeypatch.setattr(distributed, "spawn_local_workers", doomed_spawn)
+        specs = tiny_matrix(faults=[Fault.SQ_NO_FIFO], seeds_per_cell=1,
+                            max_evaluations=3)
+        with pytest.raises(RuntimeError,
+                           match="worker process\\(es\\) exited"):
+            run_campaigns(specs, workers=1, transport="tcp")
+
+    def test_poison_chunk_aborts_after_requeue_cap(self):
+        """A chunk that keeps losing workers fails the sweep, not livelocks.
+
+        White-box: forfeit the same lease past MAX_CHUNK_REQUEUES (as if
+        every worker that touched the chunk died) and assert the sweep
+        aborts with the shard's identity instead of re-queuing forever.
+        """
+        from repro.harness.distributed import MAX_CHUNK_REQUEUES, _Lease
+
+        specs = tiny_matrix(faults=[Fault.SQ_NO_FIFO], seeds_per_cell=1)
+        server = Coordinator(specs, lease_timeout=30.0)
+        try:
+            task = server._scheduler.next_task()
+            for _ in range(MAX_CHUNK_REQUEUES + 1):
+                lease = _Lease(task=task, worker="doomed", deadline=0.0)
+                server._leases[task.index] = lease
+                server._forfeit(lease)
+                assert server._scheduler.next_task().index == task.index
+            with pytest.raises(RuntimeError, match="poison"):
+                for _ in server.serve():
+                    pass
+        finally:
+            server.close()
+
+    def test_worker_joining_mid_sweep_contributes(self):
+        specs = tiny_matrix(seeds_per_cell=3, max_evaluations=5, base_seed=11)
+        serial = run_campaigns(specs, workers=1)
+        server = Coordinator(specs, chunk_evaluations=2, lease_timeout=20.0)
+        first = spawn_local_workers(server.address, 1)
+        late = []
+        accumulator = SweepAccumulator(total=len(specs))
+        try:
+            for index, shard in server.serve():
+                accumulator.add(index, shard)
+                if not late and accumulator.completed >= 1:
+                    late = spawn_local_workers(server.address, 1,
+                                               name_prefix="late")
+            report = accumulator.finalize()
+        finally:
+            server.close()
+            reap_workers(first + late)
+        assert outcomes(report) == outcomes(serial)
+        assert len(server.stats.workers_seen) == 2
