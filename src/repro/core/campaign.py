@@ -100,7 +100,12 @@ class CampaignCheckpoint:
     Checkpoint size grows with campaign progress (``ndt_history`` is one
     float per evaluation; the population is bounded by its capacity), so
     very long campaigns should pause on proportionally larger
-    ``chunk_evaluations`` to keep per-chunk pickling/IPC amortised.
+    ``chunk_evaluations`` to keep per-chunk pickling/IPC amortised.  The
+    harness measures exactly this cost per chunk — serialization seconds
+    and pickled bytes travel back on each
+    :class:`repro.harness.parallel.ChunkTelemetry` record — and
+    ``chunk_sizing="adaptive"`` uses those measurements to grow chunks
+    for fast campaigns automatically.
     """
 
     kind: GeneratorKind

@@ -67,7 +67,10 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.harness.parallel import (CampaignSpec, ChunkScheduler, ChunkTask,
+from repro.harness.parallel import (CHUNK_SIZING_FIXED, CHUNK_SIZING_MODES,
+                                    DEFAULT_TARGET_CHUNK_SECONDS,
+                                    CampaignSpec, ChunkScheduler,
+                                    ChunkSizeController, ChunkTask,
                                     ShardFailure, ShardResult, default_workers,
                                     execute_chunk_task)
 
@@ -278,10 +281,21 @@ class CoordinatorStats:
     stale_results: int = 0
     disconnects: int = 0
     workers_seen: set = field(default_factory=set)
+    #: evaluations completed per worker name (from chunk telemetry).
+    evaluations_by_worker: Counter = field(default_factory=Counter)
+    #: worker-side wall-clock seconds spent computing, per worker name.
+    busy_seconds_by_worker: dict = field(default_factory=dict)
 
     @property
     def total_requeues(self) -> int:
         return sum(self.requeues.values())
+
+    def evals_per_second(self, worker: str) -> float | None:
+        """The worker's measured throughput over every chunk it reported."""
+        busy = self.busy_seconds_by_worker.get(worker, 0.0)
+        if busy <= 0.0:
+            return None
+        return self.evaluations_by_worker[worker] / busy
 
 
 @dataclass
@@ -296,28 +310,45 @@ class _Lease:
 class Coordinator:
     """Serves a sweep's chunked task queue to TCP workers.
 
-    Construction binds the listening socket and starts the accept and
-    lease-monitor threads, so workers may connect immediately;
-    :meth:`serve` streams ``(shard_index, ShardResult)`` pairs in
-    completion order and :meth:`close` (idempotent, also called by
-    ``serve``'s cleanup) drains gracefully: workers receive a shutdown
+    Construction binds the listening socket (``bind``: a ``(host, port)``
+    pair or ``"host:port"`` string, loopback-ephemeral by default) and
+    starts the accept and lease-monitor threads, so workers may connect
+    immediately; :meth:`serve` streams ``(shard_index, ShardResult)``
+    pairs in completion order and :meth:`close` (idempotent, also called
+    by ``serve``'s cleanup) drains gracefully: workers receive a shutdown
     reply on their next request.
+
+    ``chunk_evaluations`` seeds the chunk size;
+    ``chunk_sizing="adaptive"`` re-sizes dispatched chunks from worker
+    telemetry so each takes about ``target_chunk_seconds`` of worker
+    wall-clock (see :class:`repro.harness.parallel.ChunkSizeController`).
+    ``hosts_out`` / ``telemetry_out`` are caller-owned mutable mappings
+    updated in place (under the coordinator lock) with per-host
+    completion counts and live telemetry for progress displays.
     """
 
     def __init__(self, specs: list[CampaignSpec],
                  chunk_evaluations: int | None = None,
+                 chunk_sizing: str = CHUNK_SIZING_FIXED,
+                 target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
                  bind: object = None,
                  lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                  hosts_out: dict | None = None,
+                 telemetry_out: dict | None = None,
                  handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT
                  ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
-        self._scheduler = ChunkScheduler(specs, chunk_evaluations)
+        controller = ChunkSizeController(
+            mode=chunk_sizing, chunk_evaluations=chunk_evaluations,
+            target_chunk_seconds=target_chunk_seconds)
+        self._scheduler = ChunkScheduler(specs, chunk_evaluations,
+                                         controller=controller)
         self._lease_timeout = lease_timeout
         self._max_frame_bytes = max_frame_bytes
         self._hosts_out = hosts_out
+        self._telemetry_out = telemetry_out
         self._handshake_timeout = handshake_timeout
         self.stats = CoordinatorStats()
         self._lock = threading.Lock()
@@ -582,11 +613,25 @@ class Coordinator:
                 return None
             del self._leases[index]
             self.stats.chunks_by_worker[name] += 1
+            if outcome.telemetry is not None:
+                self.stats.evaluations_by_worker[name] += \
+                    outcome.telemetry.evaluations
+                self.stats.busy_seconds_by_worker[name] = (
+                    self.stats.busy_seconds_by_worker.get(name, 0.0)
+                    + outcome.telemetry.wall_seconds)
             try:
                 completed = self._scheduler.record(outcome)
             except ShardFailure as error:
                 self._results.put(("error", error))
                 raise ProtocolError("shard failed; dropping worker") from error
+            if self._telemetry_out is not None:
+                self._telemetry_out.update(
+                    self._scheduler.telemetry_snapshot())
+                self._telemetry_out["hosts"] = {
+                    worker: round(rate, 2)
+                    for worker in sorted(self.stats.workers_seen)
+                    if (rate := self.stats.evals_per_second(worker))
+                    is not None}
             if completed is not None:
                 self.stats.completed_by_worker[name] += 1
                 if self._hosts_out is not None:
@@ -828,9 +873,12 @@ def iter_distributed(specs: list[CampaignSpec],
                      coordinator: object = None,
                      workers: int = 1,
                      chunk_evaluations: int | None = None,
+                     chunk_sizing: str = CHUNK_SIZING_FIXED,
+                     target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
                      lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                      max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-                     hosts_out: dict | None = None
+                     hosts_out: dict | None = None,
+                     telemetry_out: dict | None = None
                      ) -> Iterator[tuple[int, ShardResult]]:
     """Serve ``specs`` over TCP, yielding shards in completion order.
 
@@ -839,11 +887,16 @@ def iter_distributed(specs: list[CampaignSpec],
     are spawned against it; ``workers=0`` spawns none and waits for
     external workers to connect.  Binding and spawning happen eagerly (at
     call time); results stream through the returned iterator.
+    ``chunk_sizing="adaptive"`` re-sizes chunks from worker telemetry
+    (see :class:`repro.harness.parallel.ChunkSizeController`);
+    ``telemetry_out`` receives live per-kind and per-host throughput.
     """
     server = Coordinator(specs, chunk_evaluations=chunk_evaluations,
+                         chunk_sizing=chunk_sizing,
+                         target_chunk_seconds=target_chunk_seconds,
                          bind=coordinator, lease_timeout=lease_timeout,
                          max_frame_bytes=max_frame_bytes,
-                         hosts_out=hosts_out)
+                         hosts_out=hosts_out, telemetry_out=telemetry_out)
 
     def stream() -> Iterator[tuple[int, ShardResult]]:
         # Workers are spawned lazily, on first advance: an iterator that
@@ -895,9 +948,12 @@ def _coordinator_main(args: argparse.Namespace) -> int:
                             seeds_per_cell=args.seeds_per_cell,
                             base_seed=args.base_seed)
     hosts: dict[str, int] = {}
+    telemetry: dict = {}
     server = Coordinator(specs, chunk_evaluations=args.chunk_evaluations,
+                         chunk_sizing=args.chunk_sizing,
+                         target_chunk_seconds=args.target_chunk_seconds,
                          bind=args.bind, lease_timeout=args.lease_timeout,
-                         hosts_out=hosts)
+                         hosts_out=hosts, telemetry_out=telemetry)
     print(f"coordinator listening on {format_address(server.address)} "
           f"({len(specs)} shards); start workers with:\n"
           f"  python -m repro.harness.distributed worker "
@@ -910,16 +966,19 @@ def _coordinator_main(args: argparse.Namespace) -> int:
             printer.update(completed=accumulator.completed,
                            found=accumulator.found_count,
                            elapsed_seconds=accumulator.elapsed_seconds,
-                           hosts=hosts)
+                           hosts=hosts, telemetry=telemetry)
         printer.finish()
     finally:
         server.close()
     report = accumulator.finalize()
     print(format_sweep_report(report, title="Distributed sweep"))
     for worker_name in sorted(server.stats.workers_seen):
+        rate = server.stats.evals_per_second(worker_name)
+        rate_note = f", {rate:.1f} evals/s" if rate is not None else ""
         print(f"  {worker_name}: "
               f"{server.stats.completed_by_worker[worker_name]} shard(s), "
-              f"{server.stats.chunks_by_worker[worker_name]} chunk(s)")
+              f"{server.stats.chunks_by_worker[worker_name]} chunk(s)"
+              f"{rate_note}")
     if server.stats.total_requeues:
         print(f"  re-queued {server.stats.total_requeues} chunk(s) from "
               "dead or stalled workers")
@@ -994,6 +1053,15 @@ def build_parser() -> argparse.ArgumentParser:
     coordinator.add_argument("--base-seed", type=int, default=1)
     coordinator.add_argument("--max-evaluations", type=int, default=20)
     coordinator.add_argument("--chunk-evaluations", type=int, default=5)
+    coordinator.add_argument("--chunk-sizing", choices=CHUNK_SIZING_MODES,
+                             default=CHUNK_SIZING_FIXED,
+                             help="'adaptive' re-sizes chunks from worker "
+                                  "telemetry so each takes about "
+                                  "--target-chunk-seconds of worker time")
+    coordinator.add_argument("--target-chunk-seconds", type=float,
+                             default=DEFAULT_TARGET_CHUNK_SECONDS,
+                             help="worker wall-clock an adaptively sized "
+                                  "chunk should take")
     coordinator.add_argument("--memory-kib", type=int, default=1)
     coordinator.add_argument("--lease-timeout", type=float,
                              default=DEFAULT_LEASE_TIMEOUT,

@@ -20,7 +20,9 @@ from typing import Callable
 
 from repro.core.campaign import GeneratorKind
 from repro.core.config import GeneratorConfig
-from repro.harness.parallel import (TRANSPORT_LOCAL, WORK_STEALING,
+from repro.harness.parallel import (CHUNK_SIZING_FIXED,
+                                    DEFAULT_TARGET_CHUNK_SECONDS,
+                                    TRANSPORT_LOCAL, WORK_STEALING,
                                     CampaignSpec, CampaignSummary,
                                     ShardResult, run_campaigns,
                                     system_for_fault)
@@ -35,12 +37,18 @@ class ExperimentSettings:
     ``workers`` schedules the experiment's campaign matrix across a
     multiprocessing pool (see :mod:`repro.harness.parallel`); per-campaign
     seeds are fixed before scheduling, so any worker count, ``scheduler``,
-    ``transport`` or ``chunk_evaluations`` choice reproduces the
-    ``workers=1`` results exactly.  ``chunk_evaluations`` splits long
-    campaigns into resumable chunks under the work-stealing scheduler;
-    ``transport="tcp"`` serves those chunks to TCP workers via a
+    ``transport``, ``chunk_evaluations`` or ``chunk_sizing`` choice
+    reproduces the ``workers=1`` results exactly.
+
+    ``chunk_evaluations`` splits long campaigns into resumable chunks
+    under the work-stealing scheduler, and ``chunk_sizing="adaptive"``
+    re-sizes those chunks from per-chunk telemetry so each takes about
+    ``target_chunk_seconds`` of worker wall-clock (see
+    :class:`repro.harness.parallel.ChunkSizeController`).
+    ``transport="tcp"`` serves the chunks to TCP workers via a
     coordinator bound to ``coordinator`` instead of a local pool (see
-    :mod:`repro.harness.distributed`).
+    :mod:`repro.harness.distributed`); ``lease_timeout`` bounds how long
+    a silently stalled TCP worker may hold a chunk before it is re-queued.
     """
 
     generator_config: GeneratorConfig
@@ -52,6 +60,8 @@ class ExperimentSettings:
     workers: int = 1
     scheduler: str = WORK_STEALING
     chunk_evaluations: int | None = None
+    chunk_sizing: str = CHUNK_SIZING_FIXED
+    target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS
     transport: str = TRANSPORT_LOCAL
     coordinator: object = None
     lease_timeout: float = 30.0
@@ -69,6 +79,8 @@ class ExperimentSettings:
         return run_campaigns(specs, workers=self.workers,
                              scheduler=self.scheduler,
                              chunk_evaluations=self.chunk_evaluations,
+                             chunk_sizing=self.chunk_sizing,
+                             target_chunk_seconds=self.target_chunk_seconds,
                              transport=self.transport,
                              coordinator=self.coordinator,
                              lease_timeout=self.lease_timeout,

@@ -61,16 +61,32 @@ queues; ``transport="tcp"`` (see :mod:`repro.harness.distributed`) serves
 the *same* scheduler to remote workers over a socket protocol with
 per-worker leases and fault-tolerant chunk re-queue, so a sweep can shard
 across hosts without touching the determinism contract.
+
+Adaptive chunk sizing
+---------------------
+Every executed chunk reports a :class:`ChunkTelemetry` record (wall time,
+evaluations completed, checkpoint-serialization cost) on its
+:class:`ChunkOutcome`.  With ``chunk_sizing="adaptive"`` a
+:class:`ChunkSizeController` folds those records into an EWMA of
+evaluations/second per campaign kind and re-sizes every dispatched chunk
+to take ``target_chunk_seconds`` of worker time (clamped to a min/max):
+slow or faulty configurations get smaller chunks (finer re-balancing,
+less tail latency behind stragglers), fast ones get bigger chunks (less
+framing/pickling overhead).  Sizing only moves the *pause points* of a
+campaign — checkpointed resumption is bit-exact — so the determinism
+guarantee above is unaffected; ``tests/test_determinism_fuzz.py``
+asserts it for adaptive mode across every transport.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import queue
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from statistics import mean
 from typing import Callable, Iterator, TextIO
 
@@ -198,6 +214,36 @@ class ChunkTask:
 
 
 @dataclass(frozen=True)
+class ChunkTelemetry:
+    """Per-chunk cost measurements, taken on the worker that ran the chunk.
+
+    Attached to every successful :class:`ChunkOutcome` so the scheduling
+    side (the in-process pool and the TCP coordinator alike) can see what
+    each chunk actually cost: how many evaluations it completed, how long
+    they took on the worker's wall clock, and what pausing cost on top
+    (serializing the resume checkpoint).  This is the raw signal the
+    :class:`ChunkSizeController` turns into adaptive chunk sizes and the
+    live telemetry shown by :mod:`repro.harness.reporting`.
+    """
+
+    #: Evaluations completed in this chunk (not cumulative for the shard).
+    evaluations: int
+    #: Worker-side wall-clock seconds spent running the chunk.
+    wall_seconds: float
+    #: Pickled size of the resume checkpoint (0 when the shard completed).
+    checkpoint_bytes: int = 0
+    #: Seconds spent serializing the resume checkpoint (0 on completion).
+    checkpoint_seconds: float = 0.0
+
+    @property
+    def evaluations_per_second(self) -> float | None:
+        """The chunk's throughput, or ``None`` if it cannot be measured."""
+        if self.evaluations <= 0 or self.wall_seconds <= 0.0:
+            return None
+        return self.evaluations / self.wall_seconds
+
+
+@dataclass(frozen=True)
 class ChunkOutcome:
     """What a worker reports back after executing one :class:`ChunkTask`.
 
@@ -205,12 +251,56 @@ class ChunkOutcome:
     paused chunk with budget remaining (``checkpoint`` set) or a failure
     (``error`` set to a stringified exception, so the failure crosses
     process/host boundaries without needing the exception to be picklable).
+    Successful outcomes additionally carry the chunk's
+    :class:`ChunkTelemetry`.
     """
 
     index: int
     shard: ShardResult | None = None
     checkpoint: CampaignCheckpoint | None = None
     error: str | None = None
+    telemetry: ChunkTelemetry | None = None
+
+
+def _run_chunk_instrumented(
+        task: ChunkTask, measure_checkpoint: bool = True
+) -> tuple[ShardResult | None, CampaignCheckpoint | None, ChunkTelemetry]:
+    """Run one chunk and measure what it cost (exceptions propagate).
+
+    The measured evaluation count is the chunk's *delta* (resumed
+    checkpoints carry the cumulative count), and checkpoint serialization
+    is timed with a real ``pickle.dumps`` — the same work the transport is
+    about to do — so the telemetry reflects the true cost of pausing.
+    That means a paused chunk on the pool/TCP transports serializes its
+    checkpoint twice (once measured here, once by the queue/framing
+    layer); carrying the pre-serialized bytes on the outcome instead
+    would halve that, at the cost of pushing pickling into the wire
+    protocol — a deliberate future step, not done here.
+    ``measure_checkpoint=False`` skips the measurement (reporting zero
+    cost): the in-process serial path never serializes checkpoints at
+    all, so there the extra ``dumps`` would be pure overhead, not a
+    measurement of real work.
+    """
+    already_done = task.checkpoint.evaluations if task.checkpoint else 0
+    started = time.perf_counter()
+    shard, checkpoint = run_shard_chunk(task.spec, task.checkpoint,
+                                        task.pause_after)
+    wall_seconds = time.perf_counter() - started
+    checkpoint_bytes = 0
+    checkpoint_seconds = 0.0
+    if checkpoint is not None:
+        evaluations = checkpoint.evaluations - already_done
+        if measure_checkpoint:
+            serialize_started = time.perf_counter()
+            checkpoint_bytes = len(pickle.dumps(
+                checkpoint, protocol=pickle.HIGHEST_PROTOCOL))
+            checkpoint_seconds = time.perf_counter() - serialize_started
+    else:
+        evaluations = shard.result.evaluations - already_done
+    return shard, checkpoint, ChunkTelemetry(
+        evaluations=evaluations, wall_seconds=wall_seconds,
+        checkpoint_bytes=checkpoint_bytes,
+        checkpoint_seconds=checkpoint_seconds)
 
 
 def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
@@ -218,19 +308,171 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
 
     Shared by every transport: the multiprocessing worker loop and the TCP
     worker client both funnel their tasks through here, so worker behaviour
-    is identical whatever carried the task.
+    is identical whatever carried the task.  Successful outcomes carry the
+    chunk's :class:`ChunkTelemetry`; failures are stringified so they
+    cross process/host boundaries without needing the exception itself to
+    be picklable.
     """
     try:
-        shard, checkpoint = run_shard_chunk(task.spec, task.checkpoint,
-                                            task.pause_after)
+        shard, checkpoint, telemetry = _run_chunk_instrumented(task)
     except Exception as error:
         return ChunkOutcome(index=task.index,
                             error=f"{type(error).__name__}: {error}")
-    return ChunkOutcome(index=task.index, shard=shard, checkpoint=checkpoint)
+    return ChunkOutcome(index=task.index, shard=shard, checkpoint=checkpoint,
+                        telemetry=telemetry)
+
+
+# ----------------------------------------------------------------------
+# Adaptive chunk sizing
+
+
+CHUNK_SIZING_FIXED = "fixed"
+CHUNK_SIZING_ADAPTIVE = "adaptive"
+CHUNK_SIZING_MODES = (CHUNK_SIZING_FIXED, CHUNK_SIZING_ADAPTIVE)
+
+#: How much worker wall-clock one adaptively sized chunk should take.
+DEFAULT_TARGET_CHUNK_SECONDS = 2.0
+#: Upper clamp of adaptive sizing, as a multiple of the seed chunk size,
+#: when no explicit ``max_chunk_evaluations`` is configured.
+DEFAULT_MAX_CHUNK_GROWTH = 32
+
+
+class ChunkSizeController:
+    """Sizes chunks from per-chunk telemetry (or keeps them fixed).
+
+    In ``"fixed"`` mode :meth:`chunk_for` always returns the configured
+    ``chunk_evaluations`` — the controller is a pure no-op pass-through,
+    which is what every scheduler used before adaptive sizing existed.
+
+    In ``"adaptive"`` mode the controller maintains an exponentially
+    weighted moving average of evaluations/second *per campaign kind*
+    (fed by :meth:`observe`) and sizes each dispatched chunk so it takes
+    about ``target_chunk_seconds`` of worker wall-clock:
+    ``clamp(rate * target, min_chunk_evaluations, max_chunk_evaluations)``.
+    Until a kind has been observed it falls back to the seed
+    ``chunk_evaluations``.  Slow or faulty configurations therefore get
+    smaller chunks (finer-grained re-balancing and shorter stragglers at
+    the sweep's tail) while fast ones get bigger chunks (fewer
+    checkpoint/framing round-trips).
+
+    Chunk size only decides *where* a campaign pauses; checkpointed
+    resumption is bit-exact, so any sizing policy — including one driven
+    by nondeterministic wall-clock measurements — preserves the
+    ``workers=1`` ≡ ``workers=N`` determinism contract.
+
+    Not thread-safe by itself; the TCP coordinator calls it under its
+    scheduler lock (single-threaded transports need no locking).
+    """
+
+    def __init__(self, mode: str = CHUNK_SIZING_FIXED,
+                 chunk_evaluations: int | None = None,
+                 target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
+                 min_chunk_evaluations: int = 1,
+                 max_chunk_evaluations: int | None = None,
+                 smoothing: float = 0.5) -> None:
+        if mode not in CHUNK_SIZING_MODES:
+            raise ValueError(f"unknown chunk_sizing {mode!r}; expected one "
+                             f"of {CHUNK_SIZING_MODES}")
+        if mode == CHUNK_SIZING_ADAPTIVE:
+            if chunk_evaluations is None:
+                raise ValueError(
+                    "chunk_sizing='adaptive' needs a seed chunk_evaluations "
+                    "to start from (and to re-size around)")
+            if target_chunk_seconds <= 0:
+                raise ValueError("target_chunk_seconds must be positive")
+        if min_chunk_evaluations < 1:
+            raise ValueError("min_chunk_evaluations must be at least 1")
+        if max_chunk_evaluations is None and chunk_evaluations is not None:
+            max_chunk_evaluations = (chunk_evaluations
+                                     * DEFAULT_MAX_CHUNK_GROWTH)
+        if (max_chunk_evaluations is not None
+                and max_chunk_evaluations < min_chunk_evaluations):
+            raise ValueError("max_chunk_evaluations must be >= "
+                             "min_chunk_evaluations")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.mode = mode
+        self.chunk_evaluations = chunk_evaluations
+        self.target_chunk_seconds = target_chunk_seconds
+        self.min_chunk_evaluations = min_chunk_evaluations
+        self.max_chunk_evaluations = max_chunk_evaluations
+        self.smoothing = smoothing
+        self._rates: dict[object, float] = {}
+
+    @property
+    def adaptive(self) -> bool:
+        return self.mode == CHUNK_SIZING_ADAPTIVE
+
+    def observe(self, kind: object, telemetry: ChunkTelemetry | None) -> None:
+        """Fold one chunk's telemetry into the kind's throughput EWMA."""
+        if telemetry is None:
+            return
+        rate = telemetry.evaluations_per_second
+        if rate is None:
+            return
+        previous = self._rates.get(kind)
+        if previous is None:
+            self._rates[kind] = rate
+        else:
+            self._rates[kind] = (self.smoothing * rate
+                                 + (1.0 - self.smoothing) * previous)
+
+    def rate(self, kind: object) -> float | None:
+        """The kind's current evaluations/second estimate (EWMA)."""
+        return self._rates.get(kind)
+
+    def chunk_for(self, kind: object) -> int | None:
+        """Evaluations the next chunk of a ``kind`` campaign should run.
+
+        ``None`` means "run the shard monolithically" (no chunking was
+        configured at all, so there is nothing to size).
+        """
+        if not self.adaptive or self.chunk_evaluations is None:
+            return self.chunk_evaluations
+        rate = self._rates.get(kind)
+        if rate is None:
+            return self._clamp(self.chunk_evaluations)
+        return self._clamp(round(rate * self.target_chunk_seconds))
+
+    def _clamp(self, value: int) -> int:
+        value = max(self.min_chunk_evaluations, value)
+        if self.max_chunk_evaluations is not None:
+            value = min(self.max_chunk_evaluations, value)
+        return value
+
+    def snapshot(self) -> dict[str, dict[str, float | int]]:
+        """Current per-kind telemetry for live reporting.
+
+        Keyed by the kind's display label; each entry carries the
+        throughput EWMA and the chunk size the controller would hand out
+        next.
+        """
+        view: dict[str, dict[str, float | int]] = {}
+        for kind, rate in self._rates.items():
+            label = getattr(kind, "value", str(kind))
+            view[label] = {"evals_per_second": round(rate, 2),
+                           "chunk_evaluations": self.chunk_for(kind)}
+        return view
 
 
 class ShardFailure(RuntimeError):
     """A shard raised inside a worker; carries the stringified cause."""
+
+
+def _telemetry_view(controller: ChunkSizeController,
+                    total_evaluations: int,
+                    total_seconds: float) -> dict[str, object]:
+    """The ``telemetry_out`` shape every execution path publishes.
+
+    Single point of truth for the live-telemetry mapping consumed by
+    :func:`repro.harness.reporting.format_telemetry`: per-kind controller
+    state under ``"kinds"`` plus the sweep-wide aggregate rate — so the
+    serial, pooled and TCP paths can never drift apart.
+    """
+    view: dict[str, object] = {"kinds": controller.snapshot()}
+    if total_seconds > 0.0:
+        view["evals_per_second"] = round(total_evaluations / total_seconds, 2)
+    return view
 
 
 class ChunkScheduler:
@@ -247,19 +489,36 @@ class ChunkScheduler:
     and :meth:`record` drops duplicate completions of an already-finished
     shard, so a result can never be lost *or* double-counted.
 
+    Chunk sizes are decided at *dispatch* time: :meth:`next_task` stamps
+    each task's ``pause_after`` with whatever the
+    :class:`ChunkSizeController` currently says for the shard's campaign
+    kind, and :meth:`record` feeds every outcome's
+    :class:`ChunkTelemetry` back into the controller — so under
+    ``chunk_sizing="adaptive"`` a re-queued continuation is re-sized with
+    the freshest throughput estimate, whichever transport carries it.
+
     Not thread-safe by itself: the multiprocessing transport drives it from
     a single host thread, the TCP coordinator wraps it in a lock.
     """
 
     def __init__(self, specs: list[CampaignSpec],
-                 chunk_evaluations: int | None = None) -> None:
+                 chunk_evaluations: int | None = None,
+                 controller: ChunkSizeController | None = None) -> None:
+        if controller is None:
+            controller = ChunkSizeController(
+                mode=CHUNK_SIZING_FIXED, chunk_evaluations=chunk_evaluations)
         self.specs = specs
         self.chunk_evaluations = chunk_evaluations
+        self.controller = controller
         self._queue: deque[ChunkTask] = deque(
             ChunkTask(index=index, spec=spec, checkpoint=None,
                       pause_after=chunk_evaluations)
             for index, spec in enumerate(specs))
         self._completed: set[int] = set()
+        #: Aggregate over every recorded chunk (all kinds, all workers).
+        self.total_chunk_evaluations = 0
+        self.total_chunk_seconds = 0.0
+        self.total_checkpoint_bytes = 0
 
     @property
     def total(self) -> int:
@@ -279,8 +538,20 @@ class ChunkScheduler:
         return self.pending == 0
 
     def next_task(self) -> ChunkTask | None:
-        """The next task to hand to an idle worker (``None``: none queued)."""
-        return self._queue.popleft() if self._queue else None
+        """The next task to hand to an idle worker (``None``: none queued).
+
+        The task's ``pause_after`` is stamped here, at dispatch time, so
+        an adaptively sized sweep always uses the controller's *current*
+        estimate — including for continuations queued before the estimate
+        moved and for chunks re-queued after a worker was lost.
+        """
+        if not self._queue:
+            return None
+        task = self._queue.popleft()
+        pause_after = self.controller.chunk_for(task.spec.kind)
+        if pause_after != task.pause_after:
+            task = replace(task, pause_after=pause_after)
+        return task
 
     def requeue(self, task: ChunkTask) -> None:
         """Put back a task whose worker died or stalled while holding it."""
@@ -294,13 +565,23 @@ class ChunkScheduler:
         ``None`` when it paused (the continuation is re-queued at the tail)
         or duplicated an already-completed shard (a stale re-run after a
         lease was re-queued: dropped, results are bit-identical anyway).
-        Raises :class:`ShardFailure` on a worker-side error.
+        Raises :class:`ShardFailure` on a worker-side error.  The
+        outcome's :class:`ChunkTelemetry` (if any) is folded into the
+        :class:`ChunkSizeController` and the scheduler's aggregate
+        counters before the dedup check, so even a stale-but-successful
+        replay still improves the throughput estimate.
         """
         if outcome.error is not None:
             raise ShardFailure(
                 f"shard {outcome.index} "
                 f"({self.specs[outcome.index].describe()}) failed in a "
                 f"worker: {outcome.error}")
+        if outcome.telemetry is not None:
+            self.controller.observe(self.specs[outcome.index].kind,
+                                    outcome.telemetry)
+            self.total_chunk_evaluations += outcome.telemetry.evaluations
+            self.total_chunk_seconds += outcome.telemetry.wall_seconds
+            self.total_checkpoint_bytes += outcome.telemetry.checkpoint_bytes
         if outcome.index in self._completed:
             return None
         if outcome.shard is None:
@@ -311,6 +592,17 @@ class ChunkScheduler:
             return None
         self._completed.add(outcome.index)
         return outcome.index, outcome.shard
+
+    def telemetry_snapshot(self) -> dict[str, object]:
+        """Live telemetry for progress displays.
+
+        ``"kinds"`` maps each observed campaign kind to its throughput
+        EWMA and current chunk size (see
+        :meth:`ChunkSizeController.snapshot`); ``"evals_per_second"`` is
+        the sweep-wide aggregate rate over every recorded chunk.
+        """
+        return _telemetry_view(self.controller, self.total_chunk_evaluations,
+                               self.total_chunk_seconds)
 
 
 # ----------------------------------------------------------------------
@@ -568,18 +860,36 @@ def _worker_loop(task_queue, result_queue) -> None:
 
 
 def _iter_serial(specs: list[CampaignSpec],
-                 chunk_evaluations: int | None
+                 chunk_evaluations: int | None,
+                 controller: ChunkSizeController | None = None,
+                 telemetry_out: dict | None = None
                  ) -> Iterator[tuple[int, ShardResult]]:
     """In-process execution in matrix order (the workers=1 fallback).
 
-    Honours ``chunk_evaluations`` so the checkpoint/resume path is
-    exercised (and therefore debuggable) without any multiprocessing.
+    Honours ``chunk_evaluations`` (and adaptive sizing, via
+    ``controller``) so the checkpoint/resume and telemetry paths are
+    exercised — and therefore debuggable — without any multiprocessing.
+    Exceptions propagate directly, with their original type, because no
+    process boundary forces them to be stringified.
     """
+    if controller is None:
+        controller = ChunkSizeController(chunk_evaluations=chunk_evaluations)
+    total_evaluations, total_seconds = 0, 0.0
     for index, spec in enumerate(specs):
         checkpoint = None
         while True:
-            shard, checkpoint = run_shard_chunk(spec, checkpoint,
-                                                chunk_evaluations)
+            task = ChunkTask(index=index, spec=spec, checkpoint=checkpoint,
+                             pause_after=controller.chunk_for(spec.kind))
+            # No transport will serialize the checkpoint in-process, so
+            # there is no real serialization cost to measure.
+            shard, checkpoint, telemetry = _run_chunk_instrumented(
+                task, measure_checkpoint=False)
+            controller.observe(spec.kind, telemetry)
+            total_evaluations += telemetry.evaluations
+            total_seconds += telemetry.wall_seconds
+            if telemetry_out is not None:
+                telemetry_out.update(_telemetry_view(
+                    controller, total_evaluations, total_seconds))
             if shard is not None:
                 yield index, shard
                 break
@@ -606,7 +916,9 @@ def _iter_static(specs: list[CampaignSpec], workers: int,
 
 def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
                         mp_context: str | None,
-                        chunk_evaluations: int | None
+                        chunk_evaluations: int | None,
+                        controller: ChunkSizeController | None = None,
+                        telemetry_out: dict | None = None
                         ) -> Iterator[tuple[int, ShardResult]]:
     """Pull-based scheduling: a shared queue workers drain as they finish.
 
@@ -617,7 +929,8 @@ def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
     """
     context = multiprocessing.get_context(mp_context)
     processes = min(workers, len(specs))
-    scheduler = ChunkScheduler(specs, chunk_evaluations)
+    scheduler = ChunkScheduler(specs, chunk_evaluations,
+                               controller=controller)
     task_queue = context.Queue()
     result_queue = context.Queue()
     pool = [context.Process(target=_worker_loop,
@@ -645,6 +958,8 @@ def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
                         "shard(s) were still pending") from None
                 continue
             completed = scheduler.record(outcome)
+            if telemetry_out is not None:
+                telemetry_out.update(scheduler.telemetry_snapshot())
             if completed is None:
                 # Chunk paused with budget left: re-queue for any worker.
                 while (task := scheduler.next_task()) is not None:
@@ -667,10 +982,13 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
                    scheduler: str = WORK_STEALING,
                    chunk_evaluations: int | None = None,
                    chunksize: int | None = None,
+                   chunk_sizing: str = CHUNK_SIZING_FIXED,
+                   target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
                    transport: str = TRANSPORT_LOCAL,
                    coordinator: object = None,
                    lease_timeout: float = 30.0,
-                   hosts_out: dict | None = None
+                   hosts_out: dict | None = None,
+                   telemetry_out: dict | None = None
                    ) -> Iterator[tuple[int, ShardResult]]:
     """Stream ``(shard_index, ShardResult)`` pairs as shards complete.
 
@@ -679,6 +997,14 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
     its matrix index so consumers can reassemble deterministic reports.
     Arguments are validated eagerly (at call time), not when the returned
     iterator is first advanced.
+
+    ``chunk_sizing="adaptive"`` re-sizes chunks from per-chunk telemetry
+    so each takes about ``target_chunk_seconds`` of worker wall-clock
+    (see :class:`ChunkSizeController`); it needs ``chunk_evaluations`` as
+    the seed size.  ``telemetry_out`` (any mutable mapping) is updated in
+    place with live telemetry — per-kind throughput and current chunk
+    sizes, plus per-host rates on the tcp transport — for progress
+    displays.
 
     ``transport="tcp"`` serves the same chunked task queue to TCP workers
     instead of a local multiprocessing pool: the calling process becomes
@@ -697,6 +1023,17 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
                          f"expected one of {SCHEDULERS}")
     if chunk_evaluations is not None and chunk_evaluations < 1:
         raise ValueError("chunk_evaluations must be at least 1")
+    if chunk_sizing not in CHUNK_SIZING_MODES:
+        raise ValueError(f"unknown chunk_sizing {chunk_sizing!r}; "
+                         f"expected one of {CHUNK_SIZING_MODES}")
+    if chunk_sizing == CHUNK_SIZING_ADAPTIVE:
+        if chunk_evaluations is None:
+            raise ValueError("chunk_sizing='adaptive' needs "
+                             "chunk_evaluations as the seed chunk size")
+        if scheduler != WORK_STEALING:
+            raise ValueError("chunk_sizing='adaptive' requires the "
+                             "work-stealing scheduler; the static "
+                             "partition runs shards monolithically")
     if scheduler == STATIC and chunk_evaluations is not None:
         raise ValueError("chunk_evaluations requires the work-stealing "
                          "scheduler; the static partition runs shards "
@@ -723,18 +1060,26 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
         return iter_distributed(specs, coordinator=coordinator,
                                 workers=workers,
                                 chunk_evaluations=chunk_evaluations,
+                                chunk_sizing=chunk_sizing,
+                                target_chunk_seconds=target_chunk_seconds,
                                 lease_timeout=lease_timeout,
-                                hosts_out=hosts_out)
+                                hosts_out=hosts_out,
+                                telemetry_out=telemetry_out)
     if coordinator is not None:
         raise ValueError("coordinator requires transport='tcp'")
     if workers < 1:
         raise ValueError("workers must be at least 1")
+    controller = ChunkSizeController(mode=chunk_sizing,
+                                     chunk_evaluations=chunk_evaluations,
+                                     target_chunk_seconds=target_chunk_seconds)
     if workers == 1 or len(specs) <= 1:
-        return _iter_serial(specs, chunk_evaluations)
+        return _iter_serial(specs, chunk_evaluations, controller=controller,
+                            telemetry_out=telemetry_out)
     if scheduler == STATIC:
         return _iter_static(specs, workers, mp_context, chunksize)
     return _iter_work_stealing(specs, workers, mp_context,
-                               chunk_evaluations)
+                               chunk_evaluations, controller=controller,
+                               telemetry_out=telemetry_out)
 
 
 class SweepAccumulator:
@@ -794,6 +1139,8 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                   chunksize: int | None = None,
                   scheduler: str = WORK_STEALING,
                   chunk_evaluations: int | None = None,
+                  chunk_sizing: str = CHUNK_SIZING_FIXED,
+                  target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
                   transport: str = TRANSPORT_LOCAL,
                   coordinator: object = None,
                   lease_timeout: float = 30.0,
@@ -806,24 +1153,30 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
     multiprocessing machinery at all — the reproducible serial fallback.
     ``workers>1`` schedules the matrix with the chosen ``scheduler`` (see
     the module docstring); ``chunk_evaluations`` splits long campaigns into
-    resumable chunks under the work-stealing scheduler.
-    ``transport="tcp"`` serves the chunk queue to TCP workers instead of a
-    local pool (see :func:`iter_campaigns` and
+    resumable chunks under the work-stealing scheduler, and
+    ``chunk_sizing="adaptive"`` re-sizes those chunks from per-chunk
+    telemetry so each takes about ``target_chunk_seconds`` of worker time
+    (see :class:`ChunkSizeController`; results are unaffected, only pause
+    points move).  ``transport="tcp"`` serves the chunk queue to TCP
+    workers instead of a local pool (see :func:`iter_campaigns` and
     :mod:`repro.harness.distributed`); per-shard results are bit-identical
     either way.
 
     ``on_result`` is invoked on the host with each :class:`ShardResult` in
     completion order, while other shards are still running; ``progress=True``
     additionally maintains a live one-line progress display (stderr by
-    default) including per-host completion counts on the tcp transport.
-    The returned report always lists shards in matrix order, so downstream
-    tables are independent of completion order.
+    default) including per-host completion counts on the tcp transport and
+    live telemetry (per-kind evaluations/second and current chunk sizes)
+    when chunking is enabled.  The returned report always lists shards in
+    matrix order, so downstream tables are independent of completion order.
     """
     started = time.perf_counter()
     accumulator = SweepAccumulator(total=len(specs), workers=workers)
     printer = None
     hosts: dict[str, int] | None = (
         {} if transport == TRANSPORT_TCP and progress else None)
+    telemetry: dict | None = (
+        {} if progress and chunk_evaluations is not None else None)
     if progress:
         from repro.harness.reporting import ProgressPrinter
 
@@ -832,11 +1185,14 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                                        mp_context=mp_context,
                                        scheduler=scheduler,
                                        chunk_evaluations=chunk_evaluations,
+                                       chunk_sizing=chunk_sizing,
+                                       target_chunk_seconds=target_chunk_seconds,
                                        chunksize=chunksize,
                                        transport=transport,
                                        coordinator=coordinator,
                                        lease_timeout=lease_timeout,
-                                       hosts_out=hosts):
+                                       hosts_out=hosts,
+                                       telemetry_out=telemetry):
         accumulator.add(index, shard)
         if on_result is not None:
             on_result(shard)
@@ -844,7 +1200,7 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
             printer.update(completed=accumulator.completed,
                            found=accumulator.found_count,
                            elapsed_seconds=accumulator.elapsed_seconds,
-                           hosts=hosts)
+                           hosts=hosts, telemetry=telemetry)
     if printer is not None:
         printer.finish()
     return accumulator.finalize(time.perf_counter() - started)

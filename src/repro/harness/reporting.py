@@ -70,19 +70,53 @@ def format_host_progress(hosts: dict[str, int]) -> str:
                     for host, count in sorted(hosts.copy().items()))
 
 
+def format_telemetry(telemetry: dict) -> str:
+    """Compact live-telemetry suffix for the progress line.
+
+    ``telemetry`` is the mapping the orchestrator maintains via
+    ``telemetry_out`` (see
+    :func:`repro.harness.parallel.iter_campaigns`): an optional
+    sweep-wide ``"evals_per_second"`` aggregate, a ``"kinds"`` mapping of
+    campaign-kind label to its throughput EWMA and current chunk size,
+    and — on the tcp transport — a ``"hosts"`` mapping of worker name to
+    measured evaluations/second.  Snapshot-copied before iterating, since
+    coordinator handler threads may update it concurrently.
+    """
+    telemetry = dict(telemetry)
+    parts: list[str] = []
+    rate = telemetry.get("evals_per_second")
+    if rate:
+        parts.append(f"evals/s={rate:g}")
+    kinds = telemetry.get("kinds") or {}
+    for label, view in sorted(dict(kinds).items()):
+        parts.append(f"chunk[{label}]={view['chunk_evaluations']}"
+                     f"@{view['evals_per_second']:g}/s")
+    hosts = telemetry.get("hosts") or {}
+    for host, host_rate in sorted(dict(hosts).items()):
+        parts.append(f"{host}={host_rate:g}/s")
+    return " ".join(parts)
+
+
 def format_progress_line(completed: int, total: int, found: int,
                          elapsed_seconds: float,
-                         hosts: dict[str, int] | None = None) -> str:
+                         hosts: dict[str, int] | None = None,
+                         telemetry: dict | None = None) -> str:
     """One-line sweep progress: shards done, bugs found, elapsed time.
 
     ``hosts`` (worker name -> completed shards, maintained by the TCP
-    coordinator) appends per-host progress for distributed sweeps.
+    coordinator) appends per-host progress for distributed sweeps;
+    ``telemetry`` (see :func:`format_telemetry`) appends live per-kind
+    throughput, current chunk sizes and per-host evaluation rates.
     """
     percent = completed / total if total else 1.0
     line = (f"[{completed}/{total} shards, {percent:.0%}] "
             f"bugs_found={found} elapsed={elapsed_seconds:.1f}s")
     if hosts:
         line += f" hosts: {format_host_progress(hosts)}"
+    if telemetry:
+        suffix = format_telemetry(telemetry)
+        if suffix:
+            line += f" | {suffix}"
     return line
 
 
@@ -102,9 +136,11 @@ class ProgressPrinter:
 
     def update(self, completed: int, found: int,
                elapsed_seconds: float,
-               hosts: dict[str, int] | None = None) -> None:
+               hosts: dict[str, int] | None = None,
+               telemetry: dict | None = None) -> None:
         line = format_progress_line(completed, self.total, found,
-                                    elapsed_seconds, hosts=hosts)
+                                    elapsed_seconds, hosts=hosts,
+                                    telemetry=telemetry)
         padding = " " * max(0, self._last_width - len(line))
         self._last_width = len(line)
         try:

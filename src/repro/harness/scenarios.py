@@ -283,6 +283,8 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                        workers: int = 1,
                        scheduler: str = "work-stealing",
                        chunk_evaluations: int | None = None,
+                       chunk_sizing: str = "fixed",
+                       target_chunk_seconds: float = 2.0,
                        transport: str = "local",
                        coordinator: object = None,
                        lease_timeout: float = 30.0,
@@ -292,8 +294,10 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
 
     Scheduling options mirror :func:`repro.harness.parallel.run_campaigns`:
     the default work-stealing scheduler streams each scenario's verdict to
-    ``on_result`` as it completes, and ``transport="tcp"`` shards the
-    scenarios across TCP workers (see :mod:`repro.harness.distributed`).
+    ``on_result`` as it completes, ``chunk_sizing="adaptive"`` re-sizes
+    chunks from per-chunk telemetry (targeting ``target_chunk_seconds``
+    of worker time each), and ``transport="tcp"`` shards the scenarios
+    across TCP workers (see :mod:`repro.harness.distributed`).
     """
     from repro.harness.parallel import run_campaigns
 
@@ -303,6 +307,8 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                            time_limit_seconds=time_limit_seconds)
     return run_campaigns(specs, workers=workers, scheduler=scheduler,
                          chunk_evaluations=chunk_evaluations,
+                         chunk_sizing=chunk_sizing,
+                         target_chunk_seconds=target_chunk_seconds,
                          transport=transport, coordinator=coordinator,
                          lease_timeout=lease_timeout,
                          on_result=on_result, progress=progress)

@@ -3,12 +3,20 @@
 A seed-driven loop builds randomized heterogeneous campaign matrices
 (generator kinds × faults × seeds × per-shard budgets × chunk sizes) and
 runs each through every execution mode — serial, serial-chunked, static
-pool, work-stealing pool and (for the first seed) a loopback-TCP
-coordinator with real worker subprocesses.  All modes must produce
-identical per-shard outcomes, identical merged coverage and identical
-deterministic :class:`CampaignSummary` fields.  Timing fields
+pool, work-stealing pool (fixed *and* adaptive chunk sizing) and (for
+the first seed) a loopback-TCP coordinator with real worker
+subprocesses.  All modes must produce identical per-shard outcomes,
+identical merged coverage and identical deterministic
+:class:`CampaignSummary` fields.  Timing fields
 (``sim_seconds``/``check_seconds``/``wall_seconds``) are measured
 wall-clock and are the one deliberate exclusion.
+
+Adaptive chunk sizing is the sharpest probe of the contract: it re-sizes
+chunks from *nondeterministic wall-clock telemetry*, so every run pauses
+campaigns at different points — yet checkpointed resumption is bit-exact,
+so the reported results must not move at all.  The adaptive runs use a
+tiny ``target_chunk_seconds`` to force the controller to actually move
+chunk sizes around mid-sweep.
 
 This is the determinism contract that makes cross-host sharding safe: a
 chunk may be re-queued, re-run or migrated anywhere without changing any
@@ -86,12 +94,27 @@ def test_all_schedulers_match_serial(fuzz_seed):
         "static": dict(workers=workers, scheduler="static"),
         "work-stealing": dict(workers=workers,
                               chunk_evaluations=chunk_evaluations),
+        # Adaptive sizing moves pause points around based on measured
+        # wall-clock throughput (deliberately tiny target so sizes churn);
+        # results must still be bit-identical to serial.
+        "serial-adaptive": dict(workers=1,
+                                chunk_evaluations=chunk_evaluations,
+                                chunk_sizing="adaptive",
+                                target_chunk_seconds=0.02),
+        "work-stealing-adaptive": dict(workers=workers,
+                                       chunk_evaluations=chunk_evaluations,
+                                       chunk_sizing="adaptive",
+                                       target_chunk_seconds=0.02),
     }
     if fuzz_seed == 0:
         # Loopback-TCP coordinator with real worker subprocesses: the
-        # expensive mode runs on one representative random matrix.
+        # expensive modes run on one representative random matrix.
         modes["loopback-tcp"] = dict(workers=2, transport="tcp",
                                      chunk_evaluations=chunk_evaluations)
+        modes["loopback-tcp-adaptive"] = dict(
+            workers=2, transport="tcp",
+            chunk_evaluations=chunk_evaluations,
+            chunk_sizing="adaptive", target_chunk_seconds=0.02)
     for mode, options in modes.items():
         report = run_campaigns(specs, **options)
         assert outcome_view(report) == reference_outcomes, (
