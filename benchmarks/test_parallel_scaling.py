@@ -19,6 +19,13 @@ grained — measured here as *tail latency*, the gap between the last two
 shard completions.  Both wall-clock and tail latency land in the JSON
 artifact as the adaptive-vs-fixed row.
 
+A serialization row compares the checkpoint transport protocols on a
+real mid-campaign checkpoint: the old double-serialization path (the
+checkpoint graph pickled for telemetry and again on every hop) against
+the current single-serialization ``ChunkPayload`` path (pickled once on
+the worker, bytes forwarded verbatim) — pickle seconds and bytes saved
+per paused chunk land in the JSON artifact's ``serialization`` row.
+
 Per-shard results are bit-identical regardless of scheduler, worker count
 or chunking (seeds derive from the matrix position and checkpoints carry
 all cross-evaluation state); the determinism assertions always run.  The
@@ -34,6 +41,7 @@ to main, so the perf trajectory is tracked across commits).
 
 import json
 import os
+import pickle
 import platform
 import time
 from dataclasses import replace
@@ -42,7 +50,8 @@ import pytest
 
 from benchmarks.conftest import bench_generator_config
 from repro.core.campaign import GeneratorKind
-from repro.harness.parallel import (campaign_matrix, default_workers,
+from repro.harness.parallel import (ChunkOutcome, ChunkTask, campaign_matrix,
+                                    default_workers, execute_chunk_task,
                                     run_campaigns)
 from repro.harness.reporting import format_speedup, format_sweep_report
 from repro.sim.config import SystemConfig
@@ -144,6 +153,62 @@ def _run_with_tail(specs, **options):
     tail = (finish_times[-1] - finish_times[-2]
             if len(finish_times) >= 2 else 0.0)
     return report, tail
+
+
+#: Serialization-benchmark loop count: enough repetitions that the
+#: per-pause pickle costs rise above timer noise.
+SERIALIZATION_ROUNDS = 200
+
+
+@pytest.fixture(scope="module")
+def serialization_costs():
+    """Single- vs double-serialization cost of one paused chunk.
+
+    Replays the two transport protocols on a real mid-campaign
+    checkpoint: the old protocol pickled the checkpoint graph three
+    times per pause/resume cycle (telemetry measurement, result-queue
+    hop, task-dispatch hop); the payload protocol pickles it once and
+    forwards the bytes verbatim on both hops.
+    """
+    spec = _hetero_specs()[0]  # the 36-evaluation straggler
+    paused = execute_chunk_task(ChunkTask(index=0, spec=spec,
+                                          pause_after=24))
+    assert paused.payload is not None, "chunk unexpectedly completed"
+    payload = paused.payload
+    checkpoint = payload.load()
+    object_outcome = ChunkOutcome(index=0, checkpoint=checkpoint,
+                                  telemetry=paused.telemetry)
+    object_task = ChunkTask(index=0, spec=spec, checkpoint=checkpoint,
+                            pause_after=24)
+    payload_task = ChunkTask(index=0, spec=spec, checkpoint=payload,
+                             pause_after=24)
+    protocol = pickle.HIGHEST_PROTOCOL
+
+    started = time.perf_counter()
+    for _ in range(SERIALIZATION_ROUNDS):
+        # Old protocol: telemetry dumps + both hops re-pickle the graph.
+        pickle.dumps(checkpoint, protocol=protocol)
+        pickle.dumps(object_outcome, protocol=protocol)
+        pickle.dumps(object_task, protocol=protocol)
+    double_seconds = (time.perf_counter() - started) / SERIALIZATION_ROUNDS
+
+    started = time.perf_counter()
+    for _ in range(SERIALIZATION_ROUNDS):
+        # Payload protocol: one dumps, then both hops copy bytes.
+        pickle.dumps(checkpoint, protocol=protocol)
+        pickle.dumps(paused, protocol=protocol)
+        pickle.dumps(payload_task, protocol=protocol)
+    single_seconds = (time.perf_counter() - started) / SERIALIZATION_ROUNDS
+
+    return {
+        "checkpoint_bytes": payload.nbytes,
+        "rounds": SERIALIZATION_ROUNDS,
+        "double_serialization_seconds_per_pause": double_seconds,
+        "single_serialization_seconds_per_pause": single_seconds,
+        "seconds_saved_per_pause": double_seconds - single_seconds,
+        "graph_pickles_avoided_per_pause": 2,
+        "bytes_saved_per_pause": 2 * payload.nbytes,
+    }, paused, payload
 
 
 @pytest.fixture(scope="module")
@@ -255,8 +320,43 @@ def test_adaptive_reduces_tail_latency(adaptive_sweeps, benchmark, capsys):
             f"fixed_tail={fixed_tail:.3f}s")
 
 
+def test_payload_bytes_forwarded_verbatim(serialization_costs):
+    """Deterministic single-serialization check at the wire level.
+
+    The pre-serialized checkpoint bytes must appear as one contiguous
+    run inside the pickled outcome and task frames — pickle embeds a
+    ``bytes`` field verbatim (length-prefixed), proving the transport
+    never re-serializes the checkpoint graph.
+    """
+    _, paused, payload = serialization_costs
+    outcome_wire = pickle.dumps(paused, protocol=pickle.HIGHEST_PROTOCOL)
+    assert payload.data in outcome_wire
+    task = ChunkTask(index=0, spec=_hetero_specs()[0], checkpoint=payload,
+                     pause_after=24)
+    task_wire = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+    assert payload.data in task_wire
+
+
+def test_single_serialization_beats_double(serialization_costs, benchmark,
+                                           capsys):
+    costs, _, _ = serialization_costs
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(f"checkpoint={costs['checkpoint_bytes']}B "
+              f"double={costs['double_serialization_seconds_per_pause']*1e6:.1f}us/pause "
+              f"single={costs['single_serialization_seconds_per_pause']*1e6:.1f}us/pause "
+              f"saved={costs['seconds_saved_per_pause']*1e6:.1f}us/pause")
+    if _scaling_assertions_enabled("single- vs double-serialization"):
+        assert (costs["single_serialization_seconds_per_pause"]
+                < costs["double_serialization_seconds_per_pause"]), (
+            "forwarding pre-serialized payload bytes should be cheaper "
+            "than re-pickling the checkpoint graph on both hops: "
+            f"{costs}")
+
+
 def test_bench_json_artifact(sweeps, hetero_sweeps, tcp_sweep,
-                             adaptive_sweeps):
+                             adaptive_sweeps, serialization_costs):
     """Dump the measured numbers for CI's BENCH_parallel.json artifact."""
     path = os.environ.get("REPRO_BENCH_JSON")
     if not path:
@@ -264,6 +364,7 @@ def test_bench_json_artifact(sweeps, hetero_sweeps, tcp_sweep,
     serial, parallel = sweeps
     hetero_serial, stealing, static = hetero_sweeps
     (fixed, fixed_tail), (adaptive, adaptive_tail) = adaptive_sweeps
+    serialization, _, _ = serialization_costs
     payload = {
         "python": platform.python_version(),
         "workers": WORKERS,
@@ -294,6 +395,13 @@ def test_bench_json_artifact(sweeps, hetero_sweeps, tcp_sweep,
             "fixed_tail_seconds": fixed_tail,
             "adaptive_seconds": adaptive.wall_seconds,
             "adaptive_tail_seconds": adaptive_tail,
+        },
+        "serialization": {
+            # Checkpoint transport cost per paused chunk, old
+            # (double-serialization) protocol replayed against the
+            # current single-serialization ChunkPayload path on a real
+            # mid-campaign checkpoint.
+            **serialization,
         },
         "distributed": {
             # Same heterogeneous sweep served over loopback TCP: the

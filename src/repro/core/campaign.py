@@ -101,11 +101,15 @@ class CampaignCheckpoint:
     float per evaluation; the population is bounded by its capacity), so
     very long campaigns should pause on proportionally larger
     ``chunk_evaluations`` to keep per-chunk pickling/IPC amortised.  The
-    harness measures exactly this cost per chunk — serialization seconds
-    and pickled bytes travel back on each
-    :class:`repro.harness.parallel.ChunkTelemetry` record — and
+    harness serializes a paused checkpoint exactly once, on the worker
+    that paused it: that single ``pickle.dumps`` both becomes the
+    transport payload (:class:`repro.harness.parallel.ChunkPayload`) and
+    yields the serialization seconds/bytes reported on each
+    :class:`repro.harness.parallel.ChunkTelemetry` record.
     ``chunk_sizing="adaptive"`` uses those measurements to grow chunks
-    for fast campaigns automatically.
+    for fast campaigns automatically, and ``max_checkpoint_bytes``
+    shrinks a cell's chunks when its checkpoints approach the
+    transport's frame budget.
     """
 
     kind: GeneratorKind

@@ -49,6 +49,16 @@ Truncated frames, oversized frames and version-mismatched hellos raise
 :class:`ProtocolError` subclasses instead of hanging.  Pickle implies
 *trusted-cluster* use only: never expose a coordinator or worker to an
 untrusted network.
+
+Resume checkpoints cross the wire as pre-serialized
+:class:`repro.harness.parallel.ChunkPayload` bytes embedded in the frame:
+the worker that paused the chunk pickled the checkpoint exactly once, and
+framing a ``bytes`` field is a copy, not a second serialization — see the
+*Single-serialization checkpoint transport* section of
+:mod:`repro.harness.parallel`.  ``max_checkpoint_bytes`` (default
+``max_frame_bytes // 4``) feeds the observed payload sizes back into
+chunk sizing so a growing checkpoint shrinks the next chunk instead of
+ever hitting the fatal frame cap.
 """
 
 from __future__ import annotations
@@ -96,6 +106,11 @@ IDLE_DELAY = 0.05
 #: a chunk that keeps killing or stalling every worker that touches it
 #: (a poison chunk) must fail the sweep loudly, not livelock it.
 MAX_CHUNK_REQUEUES = 5
+#: The default checkpoint byte budget is this fraction of
+#: ``max_frame_bytes``: the task frame adds the spec and framing overhead
+#: on top of the checkpoint payload, and the budget steers an EWMA, so it
+#: needs generous headroom below the hard frame cap.
+CHECKPOINT_FRAME_FRACTION = 4
 
 
 # ----------------------------------------------------------------------
@@ -242,23 +257,44 @@ def recv_frame(sock: socket.socket,
 
 
 def parse_address(value: object) -> tuple[str, int]:
-    """Normalise ``None`` / ``"host:port"`` / ``(host, port)`` addresses."""
+    """Normalise ``None`` / ``"host:port"`` / ``(host, port)`` addresses.
+
+    IPv6 literals use the standard bracketed form (``"[::1]:8080"``);
+    the brackets are stripped from the returned host, which is what
+    :func:`socket.create_connection` / :func:`socket.create_server`
+    expect.  An unbracketed multi-colon string is rejected as ambiguous
+    (``"::1:8080"`` could split almost anywhere) rather than silently
+    mis-split.
+    """
     if value is None:
         return ("127.0.0.1", 0)
     if isinstance(value, (tuple, list)) and len(value) == 2:
         return (str(value[0]), int(value[1]))
     if isinstance(value, str):
+        if value.startswith("["):
+            host, separator, port = value.rpartition("]:")
+            if not separator or not port:
+                raise ValueError(f"address {value!r} is not of the form "
+                                 "'[ipv6]:port'")
+            return (host[1:], int(port))
         host, separator, port = value.rpartition(":")
         if not separator:
             raise ValueError(f"address {value!r} is not of the form "
                              "'host:port'")
+        if ":" in host:
+            raise ValueError(f"address {value!r} is ambiguous; write IPv6 "
+                             "literals as '[ipv6]:port'")
         return (host or "127.0.0.1", int(port))
     raise ValueError(f"cannot parse address {value!r}; expected "
                      "'host:port' or a (host, port) pair")
 
 
 def format_address(address: tuple[str, int]) -> str:
-    return f"{address[0]}:{address[1]}"
+    """Render a ``(host, port)`` pair, re-bracketing IPv6 literals."""
+    host, port = address[0], address[1]
+    if ":" in host:
+        return f"[{host}]:{port}"
+    return f"{host}:{port}"
 
 
 # ----------------------------------------------------------------------
@@ -322,6 +358,13 @@ class Coordinator:
     ``chunk_sizing="adaptive"`` re-sizes dispatched chunks from worker
     telemetry so each takes about ``target_chunk_seconds`` of worker
     wall-clock (see :class:`repro.harness.parallel.ChunkSizeController`).
+    ``max_checkpoint_bytes`` (default: a quarter of ``max_frame_bytes``
+    when chunking is on) byte-budgets resume checkpoints: a cell whose
+    observed checkpoints approach the budget gets smaller chunks,
+    minimizing growth per hop and keeping frame headroom.  The budget
+    cannot shrink the checkpoint itself (size mostly tracks cumulative
+    campaign progress), so a campaign whose checkpoint fundamentally
+    exceeds ``max_frame_bytes`` still aborts via the frame-cap backstop.
     ``hosts_out`` / ``telemetry_out`` are caller-owned mutable mappings
     updated in place (under the coordinator lock) with per-host
     completion counts and live telemetry for progress displays.
@@ -334,15 +377,32 @@ class Coordinator:
                  bind: object = None,
                  lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                 max_checkpoint_bytes: int | None = None,
                  hosts_out: dict | None = None,
                  telemetry_out: dict | None = None,
                  handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT
                  ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
+        if max_checkpoint_bytes is not None and chunk_evaluations is None:
+            # Same contract as iter_campaigns: without chunking no
+            # checkpoint is ever serialized, so a budget would be
+            # silently inert — reject it instead of luring the operator
+            # into thinking oversized frames are handled.
+            raise ValueError("max_checkpoint_bytes budgets resumable "
+                             "chunks; it needs chunk_evaluations (an "
+                             "unchunked shard never serializes a "
+                             "checkpoint)")
+        if max_checkpoint_bytes is None and chunk_evaluations is not None:
+            # Leave framing headroom: the task frame carries the spec and
+            # tuple overhead on top of the checkpoint payload, and the
+            # budget is a soft EWMA-driven target, not a hard cap.
+            max_checkpoint_bytes = max(1, max_frame_bytes
+                                       // CHECKPOINT_FRAME_FRACTION)
         controller = ChunkSizeController(
             mode=chunk_sizing, chunk_evaluations=chunk_evaluations,
-            target_chunk_seconds=target_chunk_seconds)
+            target_chunk_seconds=target_chunk_seconds,
+            max_checkpoint_bytes=max_checkpoint_bytes)
         self._scheduler = ChunkScheduler(specs, chunk_evaluations,
                                          controller=controller)
         self._lease_timeout = lease_timeout
@@ -356,7 +416,12 @@ class Coordinator:
         self._results: queue.Queue = queue.Queue()
         self._draining = threading.Event()
         self._served = False
-        self._listener = socket.create_server(parse_address(bind))
+        bind_address = parse_address(bind)
+        # An IPv6 literal needs the matching socket family; create_server
+        # defaults to AF_INET and would refuse to bind "::1".
+        family = (socket.AF_INET6 if ":" in bind_address[0]
+                  else socket.AF_INET)
+        self._listener = socket.create_server(bind_address, family=family)
         self._listener.settimeout(0.2)
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self._connections: list[socket.socket] = []
@@ -875,6 +940,7 @@ def iter_distributed(specs: list[CampaignSpec],
                      chunk_evaluations: int | None = None,
                      chunk_sizing: str = CHUNK_SIZING_FIXED,
                      target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
+                     max_checkpoint_bytes: int | None = None,
                      lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                      max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                      hosts_out: dict | None = None,
@@ -887,16 +953,25 @@ def iter_distributed(specs: list[CampaignSpec],
     are spawned against it; ``workers=0`` spawns none and waits for
     external workers to connect.  Binding and spawning happen eagerly (at
     call time); results stream through the returned iterator.
-    ``chunk_sizing="adaptive"`` re-sizes chunks from worker telemetry
-    (see :class:`repro.harness.parallel.ChunkSizeController`);
-    ``telemetry_out`` receives live per-kind and per-host throughput.
+    ``chunk_sizing="adaptive"`` re-sizes chunks from worker telemetry and
+    ``max_checkpoint_bytes`` byte-budgets checkpoints (default: derived
+    from ``max_frame_bytes``; see
+    :class:`repro.harness.parallel.ChunkSizeController`);
+    ``telemetry_out`` receives live per-cell and per-host throughput.
     """
     server = Coordinator(specs, chunk_evaluations=chunk_evaluations,
                          chunk_sizing=chunk_sizing,
                          target_chunk_seconds=target_chunk_seconds,
                          bind=coordinator, lease_timeout=lease_timeout,
                          max_frame_bytes=max_frame_bytes,
+                         max_checkpoint_bytes=max_checkpoint_bytes,
                          hosts_out=hosts_out, telemetry_out=telemetry_out)
+    worker_args: tuple[str, ...] = ()
+    if max_frame_bytes != DEFAULT_MAX_FRAME_BYTES:
+        # Spawned workers must agree with the coordinator's frame cap, or
+        # a frame the coordinator considers fine would be rejected (or an
+        # oversized one accepted) on the other side.
+        worker_args = ("--max-frame-bytes", str(max_frame_bytes))
 
     def stream() -> Iterator[tuple[int, ShardResult]]:
         # Workers are spawned lazily, on first advance: an iterator that
@@ -907,7 +982,8 @@ def iter_distributed(specs: list[CampaignSpec],
         stop_watchdog = threading.Event()
         watchdog = None
         try:
-            processes = spawn_local_workers(server.address, workers)
+            processes = spawn_local_workers(server.address, workers,
+                                            extra_args=worker_args)
             if processes:
                 watchdog = threading.Thread(
                     target=_watch_spawned_workers,
@@ -953,11 +1029,19 @@ def _coordinator_main(args: argparse.Namespace) -> int:
                          chunk_sizing=args.chunk_sizing,
                          target_chunk_seconds=args.target_chunk_seconds,
                          bind=args.bind, lease_timeout=args.lease_timeout,
+                         max_frame_bytes=args.max_frame_bytes,
+                         max_checkpoint_bytes=args.max_checkpoint_bytes,
                          hosts_out=hosts, telemetry_out=telemetry)
+    worker_command = (f"python -m repro.harness.distributed worker "
+                      f"--connect {format_address(server.address)}")
+    if args.max_frame_bytes != DEFAULT_MAX_FRAME_BYTES:
+        # Both sides enforce the frame cap; a copy-pasted worker command
+        # must carry the coordinator's value or oversized frames kill
+        # every worker that receives one.
+        worker_command += f" --max-frame-bytes {args.max_frame_bytes}"
     print(f"coordinator listening on {format_address(server.address)} "
           f"({len(specs)} shards); start workers with:\n"
-          f"  python -m repro.harness.distributed worker "
-          f"--connect {format_address(server.address)}", flush=True)
+          f"  {worker_command}", flush=True)
     accumulator = SweepAccumulator(total=len(specs))
     printer = ProgressPrinter(total=len(specs))
     try:
@@ -1005,7 +1089,8 @@ def _worker_main(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(str(error)) from None
     chaos = dict(chaos_die_after_chunks=args.chaos_die_after_chunks,
-                 chaos_hang_after_chunks=args.chaos_hang_after_chunks)
+                 chaos_hang_after_chunks=args.chaos_hang_after_chunks,
+                 max_frame_bytes=args.max_frame_bytes)
     if count == 1:
         stats = run_worker(args.connect, name=args.name,
                            heartbeat_interval=args.heartbeat_interval,
@@ -1067,6 +1152,17 @@ def build_parser() -> argparse.ArgumentParser:
                              default=DEFAULT_LEASE_TIMEOUT,
                              help="seconds before a silent worker's chunk "
                                   "is re-queued")
+    coordinator.add_argument("--max-frame-bytes", type=int,
+                             default=DEFAULT_MAX_FRAME_BYTES,
+                             help="hard cap on one wire frame (workers "
+                                  "must be started with the same value)")
+    coordinator.add_argument("--max-checkpoint-bytes", type=int,
+                             default=None,
+                             help="checkpoint byte budget: shrink a "
+                                  "cell's chunks as its checkpoints "
+                                  "approach this size (default: "
+                                  "max-frame-bytes/"
+                                  f"{CHECKPOINT_FRAME_FRACTION})")
     coordinator.set_defaults(entry=_coordinator_main)
 
     worker = commands.add_parser(
@@ -1080,6 +1176,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker name shown in coordinator progress")
     worker.add_argument("--heartbeat-interval", type=float,
                         default=DEFAULT_HEARTBEAT_INTERVAL)
+    worker.add_argument("--max-frame-bytes", type=int,
+                        default=DEFAULT_MAX_FRAME_BYTES,
+                        help="hard cap on one wire frame (match the "
+                             "coordinator's value)")
     worker.add_argument("--chaos-die-after-chunks", type=int, default=None,
                         help="fault-tolerance testing: die abruptly (like "
                              "SIGKILL) on the next assignment after N chunks")

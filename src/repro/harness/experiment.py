@@ -45,10 +45,14 @@ class ExperimentSettings:
     re-sizes those chunks from per-chunk telemetry so each takes about
     ``target_chunk_seconds`` of worker wall-clock (see
     :class:`repro.harness.parallel.ChunkSizeController`).
-    ``transport="tcp"`` serves the chunks to TCP workers via a
-    coordinator bound to ``coordinator`` instead of a local pool (see
-    :mod:`repro.harness.distributed`); ``lease_timeout`` bounds how long
-    a silently stalled TCP worker may hold a chunk before it is re-queued.
+    ``max_checkpoint_bytes`` byte-budgets resume checkpoints: a cell
+    whose checkpoints approach the cap gets smaller chunks instead of a
+    fatal oversized transport frame.  ``transport="tcp"`` serves the
+    chunks to TCP workers via a coordinator bound to ``coordinator``
+    instead of a local pool (see :mod:`repro.harness.distributed`);
+    ``lease_timeout`` bounds how long a silently stalled TCP worker may
+    hold a chunk before it is re-queued, and ``max_frame_bytes``
+    (tcp only) caps one wire frame.
     """
 
     generator_config: GeneratorConfig
@@ -62,9 +66,11 @@ class ExperimentSettings:
     chunk_evaluations: int | None = None
     chunk_sizing: str = CHUNK_SIZING_FIXED
     target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS
+    max_checkpoint_bytes: int | None = None
     transport: str = TRANSPORT_LOCAL
     coordinator: object = None
     lease_timeout: float = 30.0
+    max_frame_bytes: int | None = None
 
     def with_memory(self, memory_kib: int) -> "ExperimentSettings":
         memory = TestMemoryLayout.kib(memory_kib)
@@ -81,9 +87,11 @@ class ExperimentSettings:
                              chunk_evaluations=self.chunk_evaluations,
                              chunk_sizing=self.chunk_sizing,
                              target_chunk_seconds=self.target_chunk_seconds,
+                             max_checkpoint_bytes=self.max_checkpoint_bytes,
                              transport=self.transport,
                              coordinator=self.coordinator,
                              lease_timeout=self.lease_timeout,
+                             max_frame_bytes=self.max_frame_bytes,
                              on_result=on_result, progress=progress)
 
 

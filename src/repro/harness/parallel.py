@@ -68,14 +68,39 @@ Every executed chunk reports a :class:`ChunkTelemetry` record (wall time,
 evaluations completed, checkpoint-serialization cost) on its
 :class:`ChunkOutcome`.  With ``chunk_sizing="adaptive"`` a
 :class:`ChunkSizeController` folds those records into an EWMA of
-evaluations/second per campaign kind and re-sizes every dispatched chunk
-to take ``target_chunk_seconds`` of worker time (clamped to a min/max):
-slow or faulty configurations get smaller chunks (finer re-balancing,
-less tail latency behind stragglers), fast ones get bigger chunks (less
-framing/pickling overhead).  Sizing only moves the *pause points* of a
-campaign — checkpointed resumption is bit-exact — so the determinism
-guarantee above is unaffected; ``tests/test_determinism_fuzz.py``
-asserts it for adaptive mode across every transport.
+evaluations/second per ``(campaign kind, fault)`` cell and re-sizes every
+dispatched chunk to take ``target_chunk_seconds`` of worker time (clamped
+to a min/max): slow or faulty configurations get smaller chunks (finer
+re-balancing, less tail latency behind stragglers), fast ones get bigger
+chunks (less framing/pickling overhead).  Sizing only moves the *pause
+points* of a campaign — checkpointed resumption is bit-exact — so the
+determinism guarantee above is unaffected;
+``tests/test_determinism_fuzz.py`` asserts it for adaptive mode across
+every transport.
+
+Single-serialization checkpoint transport
+-----------------------------------------
+A paused chunk's resume checkpoint is pickled exactly once, on the
+worker that paused it: the worker's ``pickle.dumps`` both measures the
+telemetry (``checkpoint_bytes``/``checkpoint_seconds``) *and* becomes
+the transport payload, carried as a :class:`ChunkPayload` (opaque
+``bytes``) on the :class:`ChunkOutcome`.  The multiprocessing queue and
+the TCP framing forward those bytes verbatim — pickling a ``bytes``
+field is a length-prefixed copy, not an object-graph traversal — and
+the :class:`ChunkScheduler` re-queues continuations *as bytes*, so the
+checkpoint object graph is never re-serialized on the host.  It is
+deserialized exactly once, by whichever worker resumes the chunk
+(:func:`run_shard_chunk` resolves a :class:`ChunkPayload` lazily).
+
+On top of the payload path sits a *byte budget*:
+``max_checkpoint_bytes`` (on the TCP transport derived from
+``max_frame_bytes`` by default) feeds the observed ``checkpoint_bytes``
+back into the :class:`ChunkSizeController`, which shrinks a cell's
+``pause_after`` as its checkpoints approach the cap — an outgrowing
+checkpoint becomes a smaller next chunk (minimal growth per hop, frame
+headroom preserved) rather than marching into the sweep-fatal
+``FrameTooLargeError``, which remains only as a backstop for
+checkpoints no chunk size can keep under the frame cap.
 """
 
 from __future__ import annotations
@@ -173,7 +198,7 @@ def run_shard(spec: CampaignSpec) -> ShardResult:
 
 
 def run_shard_chunk(spec: CampaignSpec,
-                    checkpoint: CampaignCheckpoint | None = None,
+                    checkpoint: "CampaignCheckpoint | ChunkPayload | None" = None,
                     pause_after: int | None = None
                     ) -> tuple[ShardResult | None, CampaignCheckpoint | None]:
     """Run (a chunk of) one shard in the current process.
@@ -182,8 +207,12 @@ def run_shard_chunk(spec: CampaignSpec,
     ``checkpoint`` (if any), runs at most ``pause_after`` evaluations, and
     returns either ``(ShardResult, None)`` on completion or
     ``(None, checkpoint)`` if budget remains — the checkpoint is picklable
-    and can continue on any worker.
+    and can continue on any worker.  A :class:`ChunkPayload` checkpoint
+    (pre-serialized bytes off a transport) is materialized here, at the
+    moment of resumption — the single ``loads`` of its life.
     """
+    if isinstance(checkpoint, ChunkPayload):
+        checkpoint = checkpoint.load()
     campaign = _campaign_for(spec)
     result, new_checkpoint = campaign.run_chunk(
         spec.max_evaluations, spec.time_limit_seconds,
@@ -199,17 +228,52 @@ def run_shard_chunk(spec: CampaignSpec,
 
 
 @dataclass(frozen=True)
+class ChunkPayload:
+    """A resume checkpoint, pre-serialized on the worker that paused it.
+
+    ``data`` is ``pickle.dumps(checkpoint)`` taken *once* by
+    :func:`execute_chunk_task`; every later hop (multiprocessing queue,
+    TCP frame, scheduler re-queue) forwards these bytes verbatim, because
+    pickling a ``bytes`` field copies it without traversing the checkpoint
+    object graph.  The checkpoint is materialized again only by
+    :meth:`load`, on the worker that resumes the chunk — so a paused chunk
+    costs one ``dumps`` and one ``loads`` per pause/resume cycle, however
+    many transports it crosses in between.
+    """
+
+    data: bytes
+
+    @classmethod
+    def of(cls, checkpoint: CampaignCheckpoint) -> "ChunkPayload":
+        """Serialize ``checkpoint`` (the single ``dumps`` of its life)."""
+        return cls(data=pickle.dumps(checkpoint,
+                                     protocol=pickle.HIGHEST_PROTOCOL))
+
+    def load(self) -> CampaignCheckpoint:
+        """Materialize the checkpoint (on the worker resuming the chunk)."""
+        return pickle.loads(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+
+@dataclass(frozen=True)
 class ChunkTask:
     """One schedulable unit of work: resume shard ``index`` and run a chunk.
 
     Fully self-contained and picklable — a :class:`ChunkTask` can travel to
     a worker process over a :mod:`multiprocessing` queue or to a remote
     host over a socket and be executed there without any other context.
+    ``checkpoint`` is either a materialized
+    :class:`~repro.core.campaign.CampaignCheckpoint` (in-process paths) or
+    a :class:`ChunkPayload` of pre-serialized bytes (transport paths);
+    :func:`run_shard_chunk` resolves whichever it receives.
     """
 
     index: int
     spec: CampaignSpec
-    checkpoint: CampaignCheckpoint | None = None
+    checkpoint: CampaignCheckpoint | ChunkPayload | None = None
     pause_after: int | None = None
 
 
@@ -248,10 +312,12 @@ class ChunkOutcome:
     """What a worker reports back after executing one :class:`ChunkTask`.
 
     Exactly one of three shapes: a completed shard (``shard`` set), a
-    paused chunk with budget remaining (``checkpoint`` set) or a failure
-    (``error`` set to a stringified exception, so the failure crosses
-    process/host boundaries without needing the exception to be picklable).
-    Successful outcomes additionally carry the chunk's
+    paused chunk with budget remaining (``payload`` set to the
+    pre-serialized checkpoint bytes on the transport paths, or
+    ``checkpoint`` set to the materialized object on in-process paths) or
+    a failure (``error`` set to a stringified exception, so the failure
+    crosses process/host boundaries without needing the exception to be
+    picklable).  Successful outcomes additionally carry the chunk's
     :class:`ChunkTelemetry`.
     """
 
@@ -260,44 +326,56 @@ class ChunkOutcome:
     checkpoint: CampaignCheckpoint | None = None
     error: str | None = None
     telemetry: ChunkTelemetry | None = None
+    payload: ChunkPayload | None = None
+
+    def resume_state(self) -> "CampaignCheckpoint | ChunkPayload | None":
+        """Whatever a continuation task should resume from (bytes win)."""
+        return self.payload if self.payload is not None else self.checkpoint
 
 
 def _run_chunk_instrumented(
-        task: ChunkTask, measure_checkpoint: bool = True
-) -> tuple[ShardResult | None, CampaignCheckpoint | None, ChunkTelemetry]:
+        task: ChunkTask, serialize_checkpoint: bool = True
+) -> tuple[ShardResult | None, "CampaignCheckpoint | None",
+           "ChunkPayload | None", ChunkTelemetry]:
     """Run one chunk and measure what it cost (exceptions propagate).
 
     The measured evaluation count is the chunk's *delta* (resumed
-    checkpoints carry the cumulative count), and checkpoint serialization
-    is timed with a real ``pickle.dumps`` — the same work the transport is
-    about to do — so the telemetry reflects the true cost of pausing.
-    That means a paused chunk on the pool/TCP transports serializes its
-    checkpoint twice (once measured here, once by the queue/framing
-    layer); carrying the pre-serialized bytes on the outcome instead
-    would halve that, at the cost of pushing pickling into the wire
-    protocol — a deliberate future step, not done here.
-    ``measure_checkpoint=False`` skips the measurement (reporting zero
-    cost): the in-process serial path never serializes checkpoints at
-    all, so there the extra ``dumps`` would be pure overhead, not a
-    measurement of real work.
+    checkpoints carry the cumulative count).  With
+    ``serialize_checkpoint=True`` a pause performs the checkpoint's single
+    ``pickle.dumps``: the timed result *is* the transport payload
+    (:class:`ChunkPayload`), so the telemetry's
+    ``checkpoint_bytes``/``checkpoint_seconds`` measure exactly the bytes
+    the queue or TCP frame will carry — no second serialization ever
+    happens.  The materialized checkpoint is returned *alongside* the
+    payload: an in-process caller (the serial byte-budgeted path) resumes
+    from the object and skips the re-``loads``, while transport callers
+    (:func:`execute_chunk_task`) ship only the bytes.
+    ``serialize_checkpoint=False`` skips the measurement entirely
+    (reporting zero cost): the in-process serial path never serializes
+    checkpoints at all unless a byte budget needs the measurement, so
+    there a ``dumps`` would be pure overhead, not real work.
     """
-    already_done = task.checkpoint.evaluations if task.checkpoint else 0
+    resume_from = task.checkpoint
+    if isinstance(resume_from, ChunkPayload):
+        resume_from = resume_from.load()
+    already_done = resume_from.evaluations if resume_from is not None else 0
     started = time.perf_counter()
-    shard, checkpoint = run_shard_chunk(task.spec, task.checkpoint,
+    shard, checkpoint = run_shard_chunk(task.spec, resume_from,
                                         task.pause_after)
     wall_seconds = time.perf_counter() - started
+    payload = None
     checkpoint_bytes = 0
     checkpoint_seconds = 0.0
     if checkpoint is not None:
         evaluations = checkpoint.evaluations - already_done
-        if measure_checkpoint:
+        if serialize_checkpoint:
             serialize_started = time.perf_counter()
-            checkpoint_bytes = len(pickle.dumps(
-                checkpoint, protocol=pickle.HIGHEST_PROTOCOL))
+            payload = ChunkPayload.of(checkpoint)
             checkpoint_seconds = time.perf_counter() - serialize_started
+            checkpoint_bytes = payload.nbytes
     else:
         evaluations = shard.result.evaluations - already_done
-    return shard, checkpoint, ChunkTelemetry(
+    return shard, checkpoint, payload, ChunkTelemetry(
         evaluations=evaluations, wall_seconds=wall_seconds,
         checkpoint_bytes=checkpoint_bytes,
         checkpoint_seconds=checkpoint_seconds)
@@ -308,18 +386,22 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
 
     Shared by every transport: the multiprocessing worker loop and the TCP
     worker client both funnel their tasks through here, so worker behaviour
-    is identical whatever carried the task.  Successful outcomes carry the
-    chunk's :class:`ChunkTelemetry`; failures are stringified so they
-    cross process/host boundaries without needing the exception itself to
-    be picklable.
+    is identical whatever carried the task.  A pause serializes the resume
+    checkpoint exactly once, into the outcome's :class:`ChunkPayload`
+    (also the source of the telemetry's checkpoint cost); failures are
+    stringified so they cross process/host boundaries without needing the
+    exception itself to be picklable.
     """
     try:
-        shard, checkpoint, telemetry = _run_chunk_instrumented(task)
+        shard, checkpoint, payload, telemetry = _run_chunk_instrumented(task)
     except Exception as error:
         return ChunkOutcome(index=task.index,
                             error=f"{type(error).__name__}: {error}")
-    return ChunkOutcome(index=task.index, shard=shard, checkpoint=checkpoint,
-                        telemetry=telemetry)
+    # Ship only the bytes: putting the materialized checkpoint on the
+    # outcome too would hand the transport an object graph to re-pickle.
+    return ChunkOutcome(index=task.index, shard=shard,
+                        checkpoint=None if payload is not None else checkpoint,
+                        payload=payload, telemetry=telemetry)
 
 
 # ----------------------------------------------------------------------
@@ -335,6 +417,43 @@ DEFAULT_TARGET_CHUNK_SECONDS = 2.0
 #: Upper clamp of adaptive sizing, as a multiple of the seed chunk size,
 #: when no explicit ``max_chunk_evaluations`` is configured.
 DEFAULT_MAX_CHUNK_GROWTH = 32
+#: Fraction of ``max_checkpoint_bytes`` at which the byte budget starts
+#: shrinking chunks.  Below it checkpoints are considered comfortably
+#: small; between it and the cap, chunk sizes scale down linearly toward
+#: ``min_chunk_evaluations``.
+BYTE_BUDGET_SOFT_FRACTION = 0.5
+
+
+def sizing_key(spec: CampaignSpec) -> tuple:
+    """The cell a spec's telemetry is pooled under: ``(kind, fault)``.
+
+    Keying by kind alone conflates fault-injected cells with clean cells
+    of the same generator kind — a slow faulty configuration would shrink
+    the clean cell's chunks (and vice versa) even though their
+    evaluation rates differ systematically.  Seeds of one cell *are*
+    pooled: they run statistically identical workloads.
+    """
+    return (spec.kind, spec.fault)
+
+
+def sizing_label(key: object) -> str:
+    """Human-readable display label for a sizing key (not always unique).
+
+    Tuples render part-wise: a ``(kind, fault)`` key becomes e.g.
+    ``"McVerSi-RAND|SQ+no-FIFO"`` (``None``, the correct system, renders
+    as ``"correct"``).  Uniqueness is the caller's problem — see
+    :meth:`ChunkSizeController.snapshot`, which disambiguates collisions
+    instead of silently overwriting entries.
+    """
+    if isinstance(key, tuple):
+        return "|".join(sizing_label(part) for part in key)
+    if key is None:
+        return "correct"
+    for attribute in ("paper_name", "value"):
+        label = getattr(key, attribute, None)
+        if label is not None:
+            return str(label)
+    return str(key)
 
 
 class ChunkSizeController:
@@ -345,15 +464,26 @@ class ChunkSizeController:
     which is what every scheduler used before adaptive sizing existed.
 
     In ``"adaptive"`` mode the controller maintains an exponentially
-    weighted moving average of evaluations/second *per campaign kind*
-    (fed by :meth:`observe`) and sizes each dispatched chunk so it takes
-    about ``target_chunk_seconds`` of worker wall-clock:
+    weighted moving average of evaluations/second *per sizing key* — the
+    scheduler keys by ``(campaign kind, fault)`` cell, see
+    :func:`sizing_key` — fed by :meth:`observe`, and sizes each
+    dispatched chunk so it takes about ``target_chunk_seconds`` of worker
+    wall-clock:
     ``clamp(rate * target, min_chunk_evaluations, max_chunk_evaluations)``.
-    Until a kind has been observed it falls back to the seed
+    Until a key has been observed it falls back to the seed
     ``chunk_evaluations``.  Slow or faulty configurations therefore get
     smaller chunks (finer-grained re-balancing and shorter stragglers at
     the sweep's tail) while fast ones get bigger chunks (fewer
     checkpoint/framing round-trips).
+
+    ``max_checkpoint_bytes`` adds a *byte budget* in either mode: the
+    controller also EWMAs each key's observed ``checkpoint_bytes``, and
+    once those approach the budget (beyond
+    ``BYTE_BUDGET_SOFT_FRACTION`` of it) the key's chunks shrink
+    linearly toward ``min_chunk_evaluations`` — so a checkpoint
+    outgrowing the transport's frame cap yields smaller (hence
+    slower-growing, sooner-completing) chunks instead of a sweep-fatal
+    ``FrameTooLargeError``.
 
     Chunk size only decides *where* a campaign pauses; checkpointed
     resumption is bit-exact, so any sizing policy — including one driven
@@ -369,7 +499,8 @@ class ChunkSizeController:
                  target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
                  min_chunk_evaluations: int = 1,
                  max_chunk_evaluations: int | None = None,
-                 smoothing: float = 0.5) -> None:
+                 smoothing: float = 0.5,
+                 max_checkpoint_bytes: int | None = None) -> None:
         if mode not in CHUNK_SIZING_MODES:
             raise ValueError(f"unknown chunk_sizing {mode!r}; expected one "
                              f"of {CHUNK_SIZING_MODES}")
@@ -391,48 +522,87 @@ class ChunkSizeController:
                              "min_chunk_evaluations")
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
+        if max_checkpoint_bytes is not None and max_checkpoint_bytes < 1:
+            raise ValueError("max_checkpoint_bytes must be positive")
         self.mode = mode
         self.chunk_evaluations = chunk_evaluations
         self.target_chunk_seconds = target_chunk_seconds
         self.min_chunk_evaluations = min_chunk_evaluations
         self.max_chunk_evaluations = max_chunk_evaluations
         self.smoothing = smoothing
+        self.max_checkpoint_bytes = max_checkpoint_bytes
         self._rates: dict[object, float] = {}
+        self._checkpoint_bytes: dict[object, float] = {}
 
     @property
     def adaptive(self) -> bool:
         return self.mode == CHUNK_SIZING_ADAPTIVE
 
-    def observe(self, kind: object, telemetry: ChunkTelemetry | None) -> None:
-        """Fold one chunk's telemetry into the kind's throughput EWMA."""
+    def observe(self, key: object, telemetry: ChunkTelemetry | None) -> None:
+        """Fold one chunk's telemetry into the key's EWMAs."""
         if telemetry is None:
             return
+        if telemetry.checkpoint_bytes > 0:
+            self._checkpoint_bytes[key] = self._ewma(
+                self._checkpoint_bytes.get(key),
+                float(telemetry.checkpoint_bytes))
         rate = telemetry.evaluations_per_second
         if rate is None:
             return
-        previous = self._rates.get(kind)
+        self._rates[key] = self._ewma(self._rates.get(key), rate)
+
+    def _ewma(self, previous: float | None, value: float) -> float:
         if previous is None:
-            self._rates[kind] = rate
-        else:
-            self._rates[kind] = (self.smoothing * rate
-                                 + (1.0 - self.smoothing) * previous)
+            return value
+        return self.smoothing * value + (1.0 - self.smoothing) * previous
 
-    def rate(self, kind: object) -> float | None:
-        """The kind's current evaluations/second estimate (EWMA)."""
-        return self._rates.get(kind)
+    def rate(self, key: object) -> float | None:
+        """The key's current evaluations/second estimate (EWMA)."""
+        return self._rates.get(key)
 
-    def chunk_for(self, kind: object) -> int | None:
-        """Evaluations the next chunk of a ``kind`` campaign should run.
+    def checkpoint_bytes(self, key: object) -> float | None:
+        """The key's current checkpoint-size estimate (EWMA of bytes)."""
+        return self._checkpoint_bytes.get(key)
+
+    def byte_budget_scale(self, key: object) -> float:
+        """Chunk-shrink factor in ``(0, 1]`` from checkpoint-size pressure.
+
+        ``1.0`` while the key's observed checkpoints sit below
+        ``BYTE_BUDGET_SOFT_FRACTION`` of ``max_checkpoint_bytes`` (or no
+        budget / no observation exists); then a linear ramp down to
+        ``0.0`` as they approach the full budget, which the clamp in
+        :meth:`chunk_for` turns into ``min_chunk_evaluations``.
+        """
+        if self.max_checkpoint_bytes is None:
+            return 1.0
+        observed = self._checkpoint_bytes.get(key)
+        if observed is None:
+            return 1.0
+        pressure = observed / self.max_checkpoint_bytes
+        if pressure <= BYTE_BUDGET_SOFT_FRACTION:
+            return 1.0
+        return max(0.0, (1.0 - pressure) / (1.0 - BYTE_BUDGET_SOFT_FRACTION))
+
+    def chunk_for(self, key: object) -> int | None:
+        """Evaluations the next chunk of a ``key`` campaign should run.
 
         ``None`` means "run the shard monolithically" (no chunking was
-        configured at all, so there is nothing to size).
+        configured at all, so there is nothing to size).  The byte
+        budget applies in *both* modes: even fixed-size sweeps must
+        shrink a cell's chunks rather than outgrow the transport frame.
         """
-        if not self.adaptive or self.chunk_evaluations is None:
-            return self.chunk_evaluations
-        rate = self._rates.get(kind)
-        if rate is None:
-            return self._clamp(self.chunk_evaluations)
-        return self._clamp(round(rate * self.target_chunk_seconds))
+        if self.chunk_evaluations is None:
+            return None
+        if self.adaptive:
+            rate = self._rates.get(key)
+            value = (self.chunk_evaluations if rate is None
+                     else round(rate * self.target_chunk_seconds))
+        else:
+            value = self.chunk_evaluations
+        scale = self.byte_budget_scale(key)
+        if scale < 1.0:
+            value = round(value * scale)
+        return self._clamp(value)
 
     def _clamp(self, value: int) -> int:
         value = max(self.min_chunk_evaluations, value)
@@ -441,17 +611,26 @@ class ChunkSizeController:
         return value
 
     def snapshot(self) -> dict[str, dict[str, float | int]]:
-        """Current per-kind telemetry for live reporting.
+        """Current per-cell telemetry for live reporting.
 
-        Keyed by the kind's display label; each entry carries the
-        throughput EWMA and the chunk size the controller would hand out
-        next.
+        Keyed by each sizing key's display label (:func:`sizing_label`);
+        each entry carries the throughput EWMA and the chunk size the
+        controller would hand out next.  Two keys rendering to the same
+        label get ``#2``/``#3``… suffixes instead of silently
+        overwriting each other.
         """
         view: dict[str, dict[str, float | int]] = {}
-        for kind, rate in self._rates.items():
-            label = getattr(kind, "value", str(kind))
+        for key, rate in self._rates.items():
+            label = base_label = sizing_label(key)
+            suffix = 2
+            while label in view:
+                label = f"{base_label}#{suffix}"
+                suffix += 1
             view[label] = {"evals_per_second": round(rate, 2),
-                           "chunk_evaluations": self.chunk_for(kind)}
+                           "chunk_evaluations": self.chunk_for(key)}
+            bytes_estimate = self._checkpoint_bytes.get(key)
+            if bytes_estimate is not None:
+                view[label]["checkpoint_bytes"] = round(bytes_estimate)
         return view
 
 
@@ -461,17 +640,24 @@ class ShardFailure(RuntimeError):
 
 def _telemetry_view(controller: ChunkSizeController,
                     total_evaluations: int,
-                    total_seconds: float) -> dict[str, object]:
+                    total_seconds: float,
+                    checkpoint_bytes: int = 0,
+                    bytes_saved: int = 0) -> dict[str, object]:
     """The ``telemetry_out`` shape every execution path publishes.
 
     Single point of truth for the live-telemetry mapping consumed by
-    :func:`repro.harness.reporting.format_telemetry`: per-kind controller
-    state under ``"kinds"`` plus the sweep-wide aggregate rate — so the
-    serial, pooled and TCP paths can never drift apart.
+    :func:`repro.harness.reporting.format_telemetry`: per-cell controller
+    state under ``"kinds"``, the sweep-wide aggregate rate, and — when
+    checkpoints actually crossed a transport — the serialized checkpoint
+    bytes plus the re-pickle bytes the payload path saved, so the serial,
+    pooled and TCP paths can never drift apart.
     """
     view: dict[str, object] = {"kinds": controller.snapshot()}
     if total_seconds > 0.0:
         view["evals_per_second"] = round(total_evaluations / total_seconds, 2)
+    if checkpoint_bytes or bytes_saved:
+        view["checkpoint"] = {"bytes": checkpoint_bytes,
+                              "saved_bytes": bytes_saved}
     return view
 
 
@@ -489,13 +675,24 @@ class ChunkScheduler:
     and :meth:`record` drops duplicate completions of an already-finished
     shard, so a result can never be lost *or* double-counted.
 
+    The scheduler additionally tracks where each live shard *is* — queued
+    here or outstanding on some worker — so a late *paused* outcome from a
+    worker whose chunk was already re-queued (presumed dead, then heard
+    from after all) is recognized as stale and dropped instead of
+    enqueuing a second task for the same shard (which would double-run
+    and double-count it).  Continuations are re-queued *lazily*: a paused
+    outcome's pre-serialized :class:`ChunkPayload` bytes are carried on
+    the continuation task untouched, deserialized only by the worker that
+    eventually resumes it.
+
     Chunk sizes are decided at *dispatch* time: :meth:`next_task` stamps
     each task's ``pause_after`` with whatever the
-    :class:`ChunkSizeController` currently says for the shard's campaign
-    kind, and :meth:`record` feeds every outcome's
-    :class:`ChunkTelemetry` back into the controller — so under
-    ``chunk_sizing="adaptive"`` a re-queued continuation is re-sized with
-    the freshest throughput estimate, whichever transport carries it.
+    :class:`ChunkSizeController` currently says for the shard's
+    ``(kind, fault)`` sizing cell, and :meth:`record` feeds every
+    outcome's :class:`ChunkTelemetry` back into the controller — so under
+    ``chunk_sizing="adaptive"`` (or a byte budget) a re-queued
+    continuation is re-sized with the freshest estimates, whichever
+    transport carries it.
 
     Not thread-safe by itself: the multiprocessing transport drives it from
     a single host thread, the TCP coordinator wraps it in a lock.
@@ -515,10 +712,24 @@ class ChunkScheduler:
                       pause_after=chunk_evaluations)
             for index, spec in enumerate(specs))
         self._completed: set[int] = set()
-        #: Aggregate over every recorded chunk (all kinds, all workers).
+        #: Indices currently sitting in the queue / held by a worker.
+        self._queued: set[int] = set(range(len(specs)))
+        self._outstanding: set[int] = set()
+        #: Late paused outcomes dropped because their chunk had already
+        #: been re-queued (observability; see :meth:`record`).
+        self.stale_pauses = 0
+        #: Aggregate over every recorded chunk (all cells, all workers).
         self.total_chunk_evaluations = 0
         self.total_chunk_seconds = 0.0
         self.total_checkpoint_bytes = 0
+        #: Transport bytes the payload path avoided re-pickling: under the
+        #: old double-serialization protocol the checkpoint graph was
+        #: serialized again on every transport hop.  Credited per hop that
+        #: actually happens — ``nbytes`` when a payload-bearing outcome is
+        #: recorded (the result hop) and ``nbytes`` when a payload-bearing
+        #: continuation is dispatched (the task hop) — so dropped stale
+        #: pauses never inflate the figure.
+        self.total_payload_bytes_saved = 0
 
     @property
     def total(self) -> int:
@@ -541,35 +752,56 @@ class ChunkScheduler:
         """The next task to hand to an idle worker (``None``: none queued).
 
         The task's ``pause_after`` is stamped here, at dispatch time, so
-        an adaptively sized sweep always uses the controller's *current*
-        estimate — including for continuations queued before the estimate
-        moved and for chunks re-queued after a worker was lost.
+        an adaptively sized (or byte-budgeted) sweep always uses the
+        controller's *current* estimate — including for continuations
+        queued before the estimate moved and for chunks re-queued after a
+        worker was lost.
         """
-        if not self._queue:
-            return None
-        task = self._queue.popleft()
-        pause_after = self.controller.chunk_for(task.spec.kind)
-        if pause_after != task.pause_after:
-            task = replace(task, pause_after=pause_after)
-        return task
+        while self._queue:
+            task = self._queue.popleft()
+            self._queued.discard(task.index)
+            if task.index in self._completed:
+                # A stale continuation left behind when its shard's
+                # completion arrived from another worker: skip it.
+                continue
+            self._outstanding.add(task.index)
+            if isinstance(task.checkpoint, ChunkPayload):
+                # This dispatch forwards pre-serialized bytes where the
+                # old protocol would have re-pickled the graph.
+                self.total_payload_bytes_saved += task.checkpoint.nbytes
+            pause_after = self.controller.chunk_for(sizing_key(task.spec))
+            if pause_after != task.pause_after:
+                task = replace(task, pause_after=pause_after)
+            return task
+        return None
 
     def requeue(self, task: ChunkTask) -> None:
-        """Put back a task whose worker died or stalled while holding it."""
-        if task.index not in self._completed:
-            self._queue.append(task)
+        """Put back a task whose worker died or stalled while holding it.
+
+        Idempotent: a task whose shard already completed, or whose index
+        is already queued (a duplicate forfeit), is dropped.
+        """
+        if task.index in self._completed or task.index in self._queued:
+            return
+        self._outstanding.discard(task.index)
+        self._queued.add(task.index)
+        self._queue.append(task)
 
     def record(self, outcome: ChunkOutcome) -> tuple[int, ShardResult] | None:
         """Fold one worker outcome back in.
 
         Returns ``(index, shard)`` when the outcome completed a shard,
-        ``None`` when it paused (the continuation is re-queued at the tail)
-        or duplicated an already-completed shard (a stale re-run after a
-        lease was re-queued: dropped, results are bit-identical anyway).
-        Raises :class:`ShardFailure` on a worker-side error.  The
-        outcome's :class:`ChunkTelemetry` (if any) is folded into the
-        :class:`ChunkSizeController` and the scheduler's aggregate
-        counters before the dedup check, so even a stale-but-successful
-        replay still improves the throughput estimate.
+        ``None`` when it paused (the continuation is re-queued at the
+        tail, carrying the outcome's pre-serialized payload bytes
+        verbatim) or was stale.  Stale means either a duplicate
+        completion of an already-finished shard *or* a late pause from a
+        worker whose chunk was already re-queued after presumed death —
+        both dropped, since re-runs are bit-identical and the re-queued
+        task already represents the shard.  Raises :class:`ShardFailure`
+        on a worker-side error.  The outcome's :class:`ChunkTelemetry`
+        (if any) is folded into the :class:`ChunkSizeController` and the
+        scheduler's aggregate counters before the dedup checks, so even a
+        stale-but-successful replay still improves the estimates.
         """
         if outcome.error is not None:
             raise ShardFailure(
@@ -577,32 +809,51 @@ class ChunkScheduler:
                 f"({self.specs[outcome.index].describe()}) failed in a "
                 f"worker: {outcome.error}")
         if outcome.telemetry is not None:
-            self.controller.observe(self.specs[outcome.index].kind,
+            self.controller.observe(sizing_key(self.specs[outcome.index]),
                                     outcome.telemetry)
             self.total_chunk_evaluations += outcome.telemetry.evaluations
             self.total_chunk_seconds += outcome.telemetry.wall_seconds
             self.total_checkpoint_bytes += outcome.telemetry.checkpoint_bytes
+        if outcome.payload is not None:
+            # The result hop that just happened forwarded bytes verbatim
+            # (the dispatch hop is credited when/if the continuation is
+            # actually handed out).
+            self.total_payload_bytes_saved += outcome.payload.nbytes
         if outcome.index in self._completed:
             return None
         if outcome.shard is None:
+            if outcome.index not in self._outstanding:
+                # The chunk was re-queued (its worker presumed dead) and
+                # now the original worker reports the pause after all:
+                # enqueuing this continuation too would double-run the
+                # shard.  The re-queued task replays to the same point.
+                self.stale_pauses += 1
+                return None
+            self._outstanding.discard(outcome.index)
+            self._queued.add(outcome.index)
             self._queue.append(ChunkTask(
                 index=outcome.index, spec=self.specs[outcome.index],
-                checkpoint=outcome.checkpoint,
+                checkpoint=outcome.resume_state(),
                 pause_after=self.chunk_evaluations))
             return None
+        self._outstanding.discard(outcome.index)
         self._completed.add(outcome.index)
         return outcome.index, outcome.shard
 
     def telemetry_snapshot(self) -> dict[str, object]:
         """Live telemetry for progress displays.
 
-        ``"kinds"`` maps each observed campaign kind to its throughput
+        ``"kinds"`` maps each observed sizing cell to its throughput
         EWMA and current chunk size (see
         :meth:`ChunkSizeController.snapshot`); ``"evals_per_second"`` is
-        the sweep-wide aggregate rate over every recorded chunk.
+        the sweep-wide aggregate rate over every recorded chunk;
+        ``"checkpoint"`` aggregates serialized checkpoint bytes and the
+        transport bytes the single-serialization payload path saved.
         """
         return _telemetry_view(self.controller, self.total_chunk_evaluations,
-                               self.total_chunk_seconds)
+                               self.total_chunk_seconds,
+                               checkpoint_bytes=self.total_checkpoint_bytes,
+                               bytes_saved=self.total_payload_bytes_saved)
 
 
 # ----------------------------------------------------------------------
@@ -866,25 +1117,30 @@ def _iter_serial(specs: list[CampaignSpec],
                  ) -> Iterator[tuple[int, ShardResult]]:
     """In-process execution in matrix order (the workers=1 fallback).
 
-    Honours ``chunk_evaluations`` (and adaptive sizing, via
-    ``controller``) so the checkpoint/resume and telemetry paths are
-    exercised — and therefore debuggable — without any multiprocessing.
-    Exceptions propagate directly, with their original type, because no
-    process boundary forces them to be stringified.
+    Honours ``chunk_evaluations`` (and adaptive sizing plus the byte
+    budget, via ``controller``) so the checkpoint/resume and telemetry
+    paths are exercised — and therefore debuggable — without any
+    multiprocessing.  Exceptions propagate directly, with their original
+    type, because no process boundary forces them to be stringified.
     """
     if controller is None:
         controller = ChunkSizeController(chunk_evaluations=chunk_evaluations)
+    # No transport will serialize the checkpoint in-process, so there is
+    # normally no real serialization cost to measure — except under a
+    # byte budget, whose feedback loop *is* the measured payload size.
+    # Even then the continuation resumes from the materialized object:
+    # the dumps is the measurement, a loads would be pure overhead.
+    serialize = controller.max_checkpoint_bytes is not None
     total_evaluations, total_seconds = 0, 0.0
     for index, spec in enumerate(specs):
         checkpoint = None
         while True:
             task = ChunkTask(index=index, spec=spec, checkpoint=checkpoint,
-                             pause_after=controller.chunk_for(spec.kind))
-            # No transport will serialize the checkpoint in-process, so
-            # there is no real serialization cost to measure.
-            shard, checkpoint, telemetry = _run_chunk_instrumented(
-                task, measure_checkpoint=False)
-            controller.observe(spec.kind, telemetry)
+                             pause_after=controller.chunk_for(
+                                 sizing_key(spec)))
+            shard, checkpoint, _, telemetry = _run_chunk_instrumented(
+                task, serialize_checkpoint=serialize)
+            controller.observe(sizing_key(spec), telemetry)
             total_evaluations += telemetry.evaluations
             total_seconds += telemetry.wall_seconds
             if telemetry_out is not None:
@@ -984,9 +1240,11 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
                    chunksize: int | None = None,
                    chunk_sizing: str = CHUNK_SIZING_FIXED,
                    target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
+                   max_checkpoint_bytes: int | None = None,
                    transport: str = TRANSPORT_LOCAL,
                    coordinator: object = None,
                    lease_timeout: float = 30.0,
+                   max_frame_bytes: int | None = None,
                    hosts_out: dict | None = None,
                    telemetry_out: dict | None = None
                    ) -> Iterator[tuple[int, ShardResult]]:
@@ -1001,10 +1259,19 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
     ``chunk_sizing="adaptive"`` re-sizes chunks from per-chunk telemetry
     so each takes about ``target_chunk_seconds`` of worker wall-clock
     (see :class:`ChunkSizeController`); it needs ``chunk_evaluations`` as
-    the seed size.  ``telemetry_out`` (any mutable mapping) is updated in
-    place with live telemetry — per-kind throughput and current chunk
-    sizes, plus per-host rates on the tcp transport — for progress
-    displays.
+    the seed size.  ``max_checkpoint_bytes`` adds a byte budget in either
+    sizing mode: a cell whose resume checkpoints approach the cap gets
+    smaller chunks (on the tcp transport it defaults to a quarter of
+    ``max_frame_bytes``, keeping generous frame headroom).  Checkpoint
+    size mostly grows with *cumulative* campaign progress, so the budget
+    minimizes growth per hop and buys time to finish — a campaign whose
+    checkpoint fundamentally exceeds ``max_frame_bytes`` still aborts via
+    the frame-cap backstop (raise ``max_frame_bytes`` or lower the
+    evaluation budget).
+    ``telemetry_out`` (any mutable mapping) is updated in place with live
+    telemetry — per-cell throughput, current chunk sizes and checkpoint
+    bytes moved/saved, plus per-host rates on the tcp transport — for
+    progress displays.
 
     ``transport="tcp"`` serves the same chunked task queue to TCP workers
     instead of a local multiprocessing pool: the calling process becomes
@@ -1034,6 +1301,14 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
             raise ValueError("chunk_sizing='adaptive' requires the "
                              "work-stealing scheduler; the static "
                              "partition runs shards monolithically")
+    if max_checkpoint_bytes is not None:
+        if max_checkpoint_bytes < 1:
+            raise ValueError("max_checkpoint_bytes must be positive")
+        if chunk_evaluations is None:
+            raise ValueError("max_checkpoint_bytes budgets resumable "
+                             "chunks; it needs chunk_evaluations (an "
+                             "unchunked shard never serializes a "
+                             "checkpoint)")
     if scheduler == STATIC and chunk_evaluations is not None:
         raise ValueError("chunk_evaluations requires the work-stealing "
                          "scheduler; the static partition runs shards "
@@ -1055,23 +1330,32 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
         if workers < 0:
             raise ValueError("workers must be at least 0 for the tcp "
                              "transport (0: external workers only)")
-        from repro.harness.distributed import iter_distributed
+        from repro.harness.distributed import (DEFAULT_MAX_FRAME_BYTES,
+                                               iter_distributed)
 
         return iter_distributed(specs, coordinator=coordinator,
                                 workers=workers,
                                 chunk_evaluations=chunk_evaluations,
                                 chunk_sizing=chunk_sizing,
                                 target_chunk_seconds=target_chunk_seconds,
+                                max_checkpoint_bytes=max_checkpoint_bytes,
                                 lease_timeout=lease_timeout,
+                                max_frame_bytes=(max_frame_bytes
+                                                 if max_frame_bytes is not None
+                                                 else DEFAULT_MAX_FRAME_BYTES),
                                 hosts_out=hosts_out,
                                 telemetry_out=telemetry_out)
     if coordinator is not None:
         raise ValueError("coordinator requires transport='tcp'")
+    if max_frame_bytes is not None:
+        raise ValueError("max_frame_bytes bounds tcp transport frames; "
+                         "it requires transport='tcp'")
     if workers < 1:
         raise ValueError("workers must be at least 1")
     controller = ChunkSizeController(mode=chunk_sizing,
                                      chunk_evaluations=chunk_evaluations,
-                                     target_chunk_seconds=target_chunk_seconds)
+                                     target_chunk_seconds=target_chunk_seconds,
+                                     max_checkpoint_bytes=max_checkpoint_bytes)
     if workers == 1 or len(specs) <= 1:
         return _iter_serial(specs, chunk_evaluations, controller=controller,
                             telemetry_out=telemetry_out)
@@ -1141,9 +1425,11 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                   chunk_evaluations: int | None = None,
                   chunk_sizing: str = CHUNK_SIZING_FIXED,
                   target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
+                  max_checkpoint_bytes: int | None = None,
                   transport: str = TRANSPORT_LOCAL,
                   coordinator: object = None,
                   lease_timeout: float = 30.0,
+                  max_frame_bytes: int | None = None,
                   on_result: Callable[[ShardResult], None] | None = None,
                   progress: bool = False,
                   progress_stream: TextIO | None = None) -> SweepReport:
@@ -1157,10 +1443,13 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
     ``chunk_sizing="adaptive"`` re-sizes those chunks from per-chunk
     telemetry so each takes about ``target_chunk_seconds`` of worker time
     (see :class:`ChunkSizeController`; results are unaffected, only pause
-    points move).  ``transport="tcp"`` serves the chunk queue to TCP
-    workers instead of a local pool (see :func:`iter_campaigns` and
-    :mod:`repro.harness.distributed`); per-shard results are bit-identical
-    either way.
+    points move).  ``max_checkpoint_bytes`` byte-budgets resume
+    checkpoints: a cell whose checkpoints approach the cap gets smaller
+    chunks instead of a fatal oversized frame.  ``transport="tcp"``
+    serves the chunk queue to TCP workers instead of a local pool (see
+    :func:`iter_campaigns` and :mod:`repro.harness.distributed`), with
+    frames capped at ``max_frame_bytes``; per-shard results are
+    bit-identical either way.
 
     ``on_result`` is invoked on the host with each :class:`ShardResult` in
     completion order, while other shards are still running; ``progress=True``
@@ -1187,10 +1476,12 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                                        chunk_evaluations=chunk_evaluations,
                                        chunk_sizing=chunk_sizing,
                                        target_chunk_seconds=target_chunk_seconds,
+                                       max_checkpoint_bytes=max_checkpoint_bytes,
                                        chunksize=chunksize,
                                        transport=transport,
                                        coordinator=coordinator,
                                        lease_timeout=lease_timeout,
+                                       max_frame_bytes=max_frame_bytes,
                                        hosts_out=hosts,
                                        telemetry_out=telemetry):
         accumulator.add(index, shard)

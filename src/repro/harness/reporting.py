@@ -70,6 +70,17 @@ def format_host_progress(hosts: dict[str, int]) -> str:
                     for host, count in sorted(hosts.copy().items()))
 
 
+def format_bytes(count: float) -> str:
+    """Human-readable byte count (``"1.5MiB"``), for telemetry suffixes."""
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(count) < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return f"{count:.0f}{unit}"
+            return f"{count:.1f}{unit}"
+        count /= 1024.0
+    raise AssertionError("unreachable")
+
+
 def format_telemetry(telemetry: dict) -> str:
     """Compact live-telemetry suffix for the progress line.
 
@@ -77,10 +88,13 @@ def format_telemetry(telemetry: dict) -> str:
     ``telemetry_out`` (see
     :func:`repro.harness.parallel.iter_campaigns`): an optional
     sweep-wide ``"evals_per_second"`` aggregate, a ``"kinds"`` mapping of
-    campaign-kind label to its throughput EWMA and current chunk size,
-    and — on the tcp transport — a ``"hosts"`` mapping of worker name to
-    measured evaluations/second.  Snapshot-copied before iterating, since
-    coordinator handler threads may update it concurrently.
+    sizing-cell label to its throughput EWMA and current chunk size, an
+    optional ``"checkpoint"`` aggregate (serialized checkpoint bytes
+    moved and the transport bytes the single-serialization payload path
+    saved), and — on the tcp transport — a ``"hosts"`` mapping of worker
+    name to measured evaluations/second.  Snapshot-copied before
+    iterating, since coordinator handler threads may update it
+    concurrently.
     """
     telemetry = dict(telemetry)
     parts: list[str] = []
@@ -91,6 +105,13 @@ def format_telemetry(telemetry: dict) -> str:
     for label, view in sorted(dict(kinds).items()):
         parts.append(f"chunk[{label}]={view['chunk_evaluations']}"
                      f"@{view['evals_per_second']:g}/s")
+    checkpoint = telemetry.get("checkpoint")
+    if checkpoint:
+        checkpoint = dict(checkpoint)
+        parts.append(f"ckpt={format_bytes(checkpoint.get('bytes', 0))}")
+        saved = checkpoint.get("saved_bytes", 0)
+        if saved:
+            parts.append(f"saved={format_bytes(saved)}")
     hosts = telemetry.get("hosts") or {}
     for host, host_rate in sorted(dict(hosts).items()):
         parts.append(f"{host}={host_rate:g}/s")

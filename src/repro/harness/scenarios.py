@@ -285,9 +285,11 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                        chunk_evaluations: int | None = None,
                        chunk_sizing: str = "fixed",
                        target_chunk_seconds: float = 2.0,
+                       max_checkpoint_bytes: int | None = None,
                        transport: str = "local",
                        coordinator: object = None,
                        lease_timeout: float = 30.0,
+                       max_frame_bytes: int | None = None,
                        on_result=None,
                        progress: bool = False) -> "SweepReport":
     """Run the directed scenarios through the parallel orchestrator.
@@ -296,8 +298,9 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
     the default work-stealing scheduler streams each scenario's verdict to
     ``on_result`` as it completes, ``chunk_sizing="adaptive"`` re-sizes
     chunks from per-chunk telemetry (targeting ``target_chunk_seconds``
-    of worker time each), and ``transport="tcp"`` shards the scenarios
-    across TCP workers (see :mod:`repro.harness.distributed`).
+    of worker time each), ``max_checkpoint_bytes`` byte-budgets resume
+    checkpoints, and ``transport="tcp"`` shards the scenarios across TCP
+    workers (see :mod:`repro.harness.distributed`).
     """
     from repro.harness.parallel import run_campaigns
 
@@ -309,8 +312,10 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                          chunk_evaluations=chunk_evaluations,
                          chunk_sizing=chunk_sizing,
                          target_chunk_seconds=target_chunk_seconds,
+                         max_checkpoint_bytes=max_checkpoint_bytes,
                          transport=transport, coordinator=coordinator,
                          lease_timeout=lease_timeout,
+                         max_frame_bytes=max_frame_bytes,
                          on_result=on_result, progress=progress)
 
 

@@ -14,11 +14,11 @@ import pytest
 
 from repro.core.campaign import GeneratorKind
 from repro.core.config import GeneratorConfig
-from repro.harness.parallel import (CampaignSpec, ChunkOutcome,
+from repro.harness.parallel import (CampaignSpec, ChunkOutcome, ChunkPayload,
                                     ChunkScheduler, ChunkSizeController,
                                     ChunkTask, ChunkTelemetry,
                                     campaign_matrix, execute_chunk_task,
-                                    run_campaigns)
+                                    run_campaigns, sizing_key, sizing_label)
 from repro.sim.config import SystemConfig
 from repro.sim.faults import Fault
 
@@ -157,6 +157,136 @@ class TestAdaptiveMode:
         assert view == {"McVerSi-RAND": {"evals_per_second": 12.0,
                                          "chunk_evaluations": 12}}
 
+    def test_snapshot_label_collision_disambiguated(self):
+        """Two keys rendering to the same label must not overwrite."""
+        controller = ChunkSizeController(mode="adaptive", chunk_evaluations=4,
+                                         target_chunk_seconds=1.0)
+        controller.observe("same-label", telemetry(10, 1.0))
+        controller.observe(("same-label",), telemetry(90, 1.0))
+        view = controller.snapshot()
+        assert view["same-label"]["evals_per_second"] == 10.0
+        assert view["same-label#2"]["evals_per_second"] == 90.0
+        assert len(view) == 2
+
+
+class TestSizingKeys:
+    def test_key_is_kind_and_fault(self):
+        faulty, clean = campaign_matrix(
+            kinds=[GeneratorKind.MCVERSI_RAND],
+            faults=[Fault.SQ_NO_FIFO, None],
+            generator_config=GeneratorConfig.quick(memory_kib=1),
+            system_config=SystemConfig(), max_evaluations=4)
+        assert sizing_key(faulty) != sizing_key(clean)
+        assert sizing_key(faulty) == (GeneratorKind.MCVERSI_RAND,
+                                      Fault.SQ_NO_FIFO)
+
+    def test_labels(self):
+        assert sizing_label((GeneratorKind.MCVERSI_RAND,
+                             Fault.SQ_NO_FIFO)) == "McVerSi-RAND|SQ+no-FIFO"
+        assert sizing_label((GeneratorKind.MCVERSI_RAND,
+                             None)) == "McVerSi-RAND|correct"
+        assert sizing_label(GeneratorKind.MCVERSI_RAND) == "McVerSi-RAND"
+
+    def test_faulty_cell_does_not_skew_clean_cell(self):
+        """The conflation regression: same kind, different fault, no bleed.
+
+        A slow fault-injected cell must not shrink the clean cell's
+        chunks (they share a generator kind but run systematically
+        different workloads).
+        """
+        specs = campaign_matrix(
+            kinds=[GeneratorKind.MCVERSI_RAND],
+            faults=[Fault.SQ_NO_FIFO, None],
+            generator_config=GeneratorConfig.quick(memory_kib=1),
+            system_config=SystemConfig(), max_evaluations=100)
+        controller = ChunkSizeController(mode="adaptive",
+                                         chunk_evaluations=10,
+                                         target_chunk_seconds=1.0)
+        scheduler = ChunkScheduler(specs, chunk_evaluations=10,
+                                   controller=controller)
+        faulty_task = scheduler.next_task()
+        clean_task = scheduler.next_task()
+        assert faulty_task.spec.fault is not None
+        assert clean_task.spec.fault is None
+        # The faulty cell crawls; the clean cell has not been observed
+        # (its pause reports no telemetry).
+        scheduler.record(ChunkOutcome(index=faulty_task.index,
+                                      checkpoint=StubCheckpoint(),
+                                      telemetry=telemetry(1, 1.0)))
+        scheduler.record(ChunkOutcome(index=clean_task.index,
+                                      checkpoint=StubCheckpoint()))
+        resized = {task.spec.fault: task
+                   for task in (scheduler.next_task(), scheduler.next_task())}
+        assert resized[Fault.SQ_NO_FIFO].pause_after == 1
+        # Clean cell keeps the seed size: no cross-fault contamination.
+        assert resized[None].pause_after == 10
+
+
+class TestByteBudget:
+    def budget_controller(self, **kwargs) -> ChunkSizeController:
+        return ChunkSizeController(chunk_evaluations=32,
+                                   max_checkpoint_bytes=1000, **kwargs)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError, match="max_checkpoint_bytes"):
+            ChunkSizeController(chunk_evaluations=4, max_checkpoint_bytes=0)
+
+    def test_small_checkpoints_leave_chunks_alone(self):
+        controller = self.budget_controller()
+        controller.observe("cell", ChunkTelemetry(
+            evaluations=4, wall_seconds=1.0, checkpoint_bytes=100))
+        assert controller.byte_budget_scale("cell") == 1.0
+        assert controller.chunk_for("cell") == 32
+
+    def test_checkpoint_near_cap_shrinks_chunk(self):
+        controller = self.budget_controller()
+        controller.observe("cell", ChunkTelemetry(
+            evaluations=4, wall_seconds=1.0, checkpoint_bytes=900))
+        assert controller.byte_budget_scale("cell") < 0.25
+        assert controller.chunk_for("cell") < 32
+
+    def test_checkpoint_at_cap_floors_at_min_chunk(self):
+        controller = self.budget_controller(min_chunk_evaluations=2)
+        controller.observe("cell", ChunkTelemetry(
+            evaluations=4, wall_seconds=1.0, checkpoint_bytes=2000))
+        assert controller.byte_budget_scale("cell") == 0.0
+        assert controller.chunk_for("cell") == 2
+
+    def test_budget_applies_in_fixed_mode_too(self):
+        """Fixed sizing must still shrink rather than outgrow the frame."""
+        controller = self.budget_controller()
+        assert not controller.adaptive
+        controller.observe("cell", ChunkTelemetry(
+            evaluations=4, wall_seconds=1.0, checkpoint_bytes=990))
+        assert controller.chunk_for("cell") == 1
+        # Other cells are untouched.
+        assert controller.chunk_for("other") == 32
+
+    def test_no_budget_means_no_scaling(self):
+        controller = ChunkSizeController(chunk_evaluations=32)
+        controller.observe("cell", ChunkTelemetry(
+            evaluations=4, wall_seconds=1.0, checkpoint_bytes=10**9))
+        assert controller.byte_budget_scale("cell") == 1.0
+        assert controller.chunk_for("cell") == 32
+
+    def test_bytes_ewma_tracks_observations(self):
+        controller = self.budget_controller(smoothing=0.5)
+        controller.observe("cell", ChunkTelemetry(
+            evaluations=4, wall_seconds=1.0, checkpoint_bytes=400))
+        assert controller.checkpoint_bytes("cell") == pytest.approx(400.0)
+        controller.observe("cell", ChunkTelemetry(
+            evaluations=4, wall_seconds=1.0, checkpoint_bytes=800))
+        assert controller.checkpoint_bytes("cell") == pytest.approx(600.0)
+
+    def test_completed_chunks_do_not_pollute_bytes(self):
+        """checkpoint_bytes=0 (a completed shard) is not an observation."""
+        controller = self.budget_controller()
+        controller.observe("cell", ChunkTelemetry(
+            evaluations=4, wall_seconds=1.0, checkpoint_bytes=900))
+        controller.observe("cell", ChunkTelemetry(
+            evaluations=4, wall_seconds=1.0, checkpoint_bytes=0))
+        assert controller.checkpoint_bytes("cell") == pytest.approx(900.0)
+
 
 # ----------------------------------------------------------------------
 # Scheduler-level behaviour
@@ -236,16 +366,99 @@ class TestSchedulerSizing:
         specs = two_kind_specs()
         scheduler = self.adaptive_scheduler(specs)
         scheduler.next_task()
+        scheduler.next_task()  # drain both initial (payload-free) tasks
         scheduler.record(ChunkOutcome(
-            index=0, checkpoint=StubCheckpoint(),
+            index=0, payload=ChunkPayload(data=b"x" * 128),
             telemetry=ChunkTelemetry(evaluations=10, wall_seconds=2.0,
                                      checkpoint_bytes=128)))
         assert scheduler.total_chunk_evaluations == 10
         assert scheduler.total_chunk_seconds == 2.0
         assert scheduler.total_checkpoint_bytes == 128
+        # The result hop forwarded the payload bytes verbatim instead of
+        # re-pickling the checkpoint graph...
+        assert scheduler.total_payload_bytes_saved == 128
         view = scheduler.telemetry_snapshot()
         assert view["evals_per_second"] == 5.0
-        assert "McVerSi-RAND" in view["kinds"]
+        assert "McVerSi-RAND|correct" in view["kinds"]
+        assert view["checkpoint"] == {"bytes": 128, "saved_bytes": 128}
+        # ...and dispatching the continuation credits the task hop too.
+        continuation = scheduler.next_task()
+        assert continuation.index == 0
+        assert scheduler.total_payload_bytes_saved == 256
+
+    def test_stale_pause_payload_not_credited_as_saved(self):
+        """A dropped stale pause's dispatch hop never happens, so only
+        the result hop it actually crossed is counted."""
+        specs = two_kind_specs()
+        scheduler = ChunkScheduler(specs, chunk_evaluations=10)
+        task = scheduler.next_task()
+        scheduler.next_task()
+        scheduler.requeue(task)
+        scheduler.record(ChunkOutcome(index=task.index,
+                                      payload=ChunkPayload(data=b"y" * 64)))
+        assert scheduler.stale_pauses == 1
+        assert scheduler.total_payload_bytes_saved == 64
+
+    def test_stale_pause_after_requeue_is_dropped(self):
+        """The duplicate-pause regression (presumed-dead worker heard
+        from after all).
+
+        Sequence: a chunk is dispatched, its worker goes silent, the
+        task is re-queued for another worker — and *then* the original
+        worker's paused outcome arrives.  Recording that late pause used
+        to pass the completed-shard dedup and enqueue a second
+        continuation for the same shard, double-running it; the
+        scheduler must drop it instead.
+        """
+        specs = two_kind_specs()
+        scheduler = ChunkScheduler(specs, chunk_evaluations=10)
+        task = scheduler.next_task()
+        other = scheduler.next_task()
+        scheduler.requeue(task)  # presumed dead
+        late_pause = ChunkOutcome(index=task.index,
+                                  payload=ChunkPayload(data=b"stale"),
+                                  telemetry=telemetry(10, 1.0))
+        assert scheduler.record(late_pause) is None
+        assert scheduler.stale_pauses == 1
+        # Exactly one task for the shard remains: the re-queued original.
+        indices = []
+        while (queued := scheduler.next_task()) is not None:
+            indices.append(queued.index)
+        assert indices == [task.index]
+        assert other.index not in indices
+        # Telemetry still counted: the work genuinely happened.
+        assert scheduler.total_chunk_evaluations == 10
+
+    def test_duplicate_requeue_is_idempotent(self):
+        specs = two_kind_specs()
+        scheduler = ChunkScheduler(specs, chunk_evaluations=10)
+        task = scheduler.next_task()
+        scheduler.next_task()
+        scheduler.requeue(task)
+        scheduler.requeue(task)  # double forfeit (monitor + disconnect)
+        indices = []
+        while (queued := scheduler.next_task()) is not None:
+            indices.append(queued.index)
+        assert indices.count(task.index) == 1
+
+    def test_stale_continuation_skipped_after_completion(self):
+        """A queued continuation whose shard completed elsewhere is
+        skipped by next_task, not handed to a worker."""
+        specs = two_kind_specs()
+        scheduler = ChunkScheduler(specs, chunk_evaluations=10)
+        task = scheduler.next_task()
+        other = scheduler.next_task()
+        scheduler.requeue(task)
+        # The original worker completes the shard after all (a stale
+        # *completion* is accepted: replays are bit-identical).
+        shard = object()
+        outcome = ChunkOutcome(index=task.index, shard=shard,
+                               telemetry=telemetry(10, 1.0))
+        assert scheduler.record(outcome) == (task.index, shard)
+        # The re-queued duplicate must now be skipped.
+        assert scheduler.next_task() is None
+        assert scheduler.pending == 1  # only `other` is still live
+        assert other.index != task.index
 
 
 # ----------------------------------------------------------------------
@@ -268,9 +481,13 @@ class TestExecutionTelemetry:
         outcome = execute_chunk_task(ChunkTask(index=0, spec=small_spec(),
                                                pause_after=2))
         assert outcome.error is None
-        assert outcome.checkpoint is not None
+        assert outcome.checkpoint is None  # transport path: bytes only
+        assert outcome.payload is not None
         assert outcome.telemetry.evaluations == 2
         assert outcome.telemetry.wall_seconds > 0.0
+        # The telemetry measures the payload itself: one and the same
+        # serialization.
+        assert outcome.telemetry.checkpoint_bytes == outcome.payload.nbytes
         assert outcome.telemetry.checkpoint_bytes > 0
         assert outcome.telemetry.checkpoint_seconds >= 0.0
 
@@ -279,7 +496,7 @@ class TestExecutionTelemetry:
         first = execute_chunk_task(ChunkTask(index=0, spec=spec,
                                              pause_after=2))
         second = execute_chunk_task(ChunkTask(index=0, spec=spec,
-                                              checkpoint=first.checkpoint,
+                                              checkpoint=first.payload,
                                               pause_after=3))
         assert second.telemetry.evaluations <= 3
 

@@ -1,0 +1,300 @@
+"""Single-serialization checkpoint transport (ChunkPayload) + byte budget.
+
+The tentpole contract: a paused chunk's resume checkpoint is pickled
+exactly *once*, on the worker that paused it, and those bytes travel
+every subsequent hop verbatim — the multiprocessing result queue, the
+scheduler's lazy re-queue, the task dispatch and the TCP framing all
+forward an opaque ``bytes`` field instead of re-serializing the
+checkpoint object graph.  A counting test double (a checkpoint whose
+``__reduce__`` tallies every pickle) proves it hop by hop; the
+round-trip tests prove the bytes path is bit-for-bit equivalent to the
+object path on real campaigns; and the byte-budget tests prove that a
+checkpoint approaching ``max_checkpoint_bytes`` shrinks the next chunk
+instead of ever raising ``FrameTooLargeError``.
+"""
+
+import pickle
+import socket
+
+import pytest
+
+from repro.core.campaign import CampaignCheckpoint, GeneratorKind
+from repro.core.config import GeneratorConfig
+from repro.harness.distributed import (CHECKPOINT_FRAME_FRACTION,
+                                       Coordinator, recv_frame, send_frame)
+from repro.harness.parallel import (ChunkOutcome, ChunkPayload,
+                                    ChunkScheduler, ChunkSizeController,
+                                    ChunkTask, ChunkTelemetry,
+                                    campaign_matrix, execute_chunk_task,
+                                    run_campaigns, run_shard_chunk)
+from repro.sim.config import SystemConfig
+from repro.sim.faults import Fault
+
+
+def tiny_config():
+    return GeneratorConfig.quick(memory_kib=1, test_size=32, iterations=2,
+                                 population_size=6)
+
+
+def tiny_matrix(max_evaluations=5, seeds_per_cell=2,
+                faults=(Fault.SQ_NO_FIFO, None)):
+    return campaign_matrix(kinds=[GeneratorKind.MCVERSI_RAND],
+                           faults=list(faults),
+                           generator_config=tiny_config(),
+                           system_config=SystemConfig(),
+                           max_evaluations=max_evaluations,
+                           seeds_per_cell=seeds_per_cell, base_seed=11)
+
+
+def outcomes(report):
+    return [(shard.result.found, shard.result.evaluations_to_find,
+             shard.result.evaluations) for shard in report.shards]
+
+
+def deterministic_result_view(result):
+    """Every CampaignResult field except the measured wall-clock ones."""
+    from dataclasses import fields
+
+    return {field.name: getattr(result, field.name)
+            for field in fields(result)
+            if field.name not in ("wall_seconds", "sim_seconds",
+                                  "check_seconds")}
+
+
+class CountingCheckpoint:
+    """Checkpoint stand-in whose every pickling is tallied.
+
+    ``__reduce__`` runs on each ``pickle.dumps`` traversal that reaches
+    the object — including one buried inside a ``ChunkOutcome`` or
+    ``ChunkTask`` being serialized by a transport layer — so the class
+    counter measures exactly how many times a hop re-serialized the
+    checkpoint graph.
+    """
+
+    pickles = 0
+    evaluations = 3  # quacks enough like a CampaignCheckpoint
+
+    def __reduce__(self):
+        CountingCheckpoint.pickles += 1
+        return (CountingCheckpoint, ())
+
+
+@pytest.fixture(autouse=True)
+def _reset_counter():
+    CountingCheckpoint.pickles = 0
+    yield
+
+
+class TestSingleSerialization:
+    def test_payload_construction_is_the_only_pickle(self):
+        payload = ChunkPayload.of(CountingCheckpoint())
+        assert CountingCheckpoint.pickles == 1
+        assert payload.nbytes == len(payload.data) > 0
+        assert isinstance(payload.load(), CountingCheckpoint)
+        assert CountingCheckpoint.pickles == 1  # loads never re-dumps
+
+    def test_pool_hops_forward_bytes_verbatim(self):
+        """The multiprocessing-queue path: outcome back, task out.
+
+        Both hops pickle the *containing* message (that is what a
+        ``multiprocessing.Queue`` does), and neither may touch the
+        checkpoint graph again.
+        """
+        payload = ChunkPayload.of(CountingCheckpoint())
+        outcome = ChunkOutcome(index=0, payload=payload,
+                               telemetry=ChunkTelemetry(
+                                   evaluations=3, wall_seconds=0.1,
+                                   checkpoint_bytes=payload.nbytes))
+        # Hop 1: worker -> host over the result queue.
+        wire = pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+        assert CountingCheckpoint.pickles == 1
+        received = pickle.loads(wire)
+        # The host re-queues the continuation lazily, from bytes.
+        scheduler = ChunkScheduler(tiny_matrix()[:1], chunk_evaluations=2)
+        scheduler.next_task()
+        assert scheduler.record(received) is None
+        continuation = scheduler.next_task()
+        assert continuation.checkpoint == payload
+        assert CountingCheckpoint.pickles == 1
+        # Hop 2: host -> (any) worker over the task queue.
+        wire = pickle.dumps(continuation, protocol=pickle.HIGHEST_PROTOCOL)
+        assert CountingCheckpoint.pickles == 1
+        dispatched = pickle.loads(wire)
+        # Only the resuming worker materializes the checkpoint.
+        assert isinstance(dispatched.checkpoint.load(), CountingCheckpoint)
+        assert CountingCheckpoint.pickles == 1
+
+    def test_tcp_framing_forwards_bytes_verbatim(self):
+        """The same invariant through the real wire framing."""
+        left, right = socket.socketpair()
+        try:
+            payload = ChunkPayload.of(CountingCheckpoint())
+            outcome = ChunkOutcome(index=0, payload=payload)
+            send_frame(left, ("result", outcome))
+            kind, received = recv_frame(right)
+            assert kind == "result"
+            assert CountingCheckpoint.pickles == 1
+            task = ChunkTask(index=0, spec=tiny_matrix()[0],
+                             checkpoint=received.payload, pause_after=2)
+            send_frame(left, ("task", task))
+            kind, received_task = recv_frame(right)
+            assert kind == "task"
+            assert CountingCheckpoint.pickles == 1
+            assert isinstance(received_task.checkpoint.load(),
+                              CountingCheckpoint)
+            assert CountingCheckpoint.pickles == 1
+        finally:
+            left.close()
+            right.close()
+
+    def test_worker_outcome_carries_payload_not_object(self):
+        """Real execution: a pause returns bytes, never the object."""
+        spec = tiny_matrix(faults=[None])[0]  # never finds: always pauses
+        outcome = execute_chunk_task(ChunkTask(index=0, spec=spec,
+                                               pause_after=2))
+        assert outcome.checkpoint is None
+        assert isinstance(outcome.payload, ChunkPayload)
+        assert isinstance(outcome.payload.load(), CampaignCheckpoint)
+        assert outcome.telemetry.checkpoint_bytes == outcome.payload.nbytes
+
+
+class TestRoundTripEquivalence:
+    def test_bytes_path_equals_object_path_bit_for_bit(self):
+        """Resuming from payload bytes ≡ resuming from the object."""
+        spec = tiny_matrix(max_evaluations=6, faults=[None])[0]
+        first = execute_chunk_task(ChunkTask(index=0, spec=spec,
+                                             pause_after=2))
+        checkpoint = first.payload.load()
+        from_object, _ = run_shard_chunk(spec, checkpoint, None)
+        from_bytes, _ = run_shard_chunk(spec, first.payload, None)
+        assert from_object is not None and from_bytes is not None
+        assert (deterministic_result_view(from_object.result)
+                == deterministic_result_view(from_bytes.result))
+        assert (from_object.coverage.global_counts
+                == from_bytes.coverage.global_counts)
+
+    def test_multi_hop_payload_chain_matches_monolithic_run(self):
+        """Pause/resume through simulated transport hops ≡ one shot."""
+        spec = tiny_matrix(max_evaluations=7, faults=[None])[0]
+        monolithic, _ = run_shard_chunk(spec, None, None)
+        resume = None
+        shard = None
+        for _ in range(20):
+            outcome = execute_chunk_task(ChunkTask(index=0, spec=spec,
+                                                   checkpoint=resume,
+                                                   pause_after=2))
+            assert outcome.error is None
+            if outcome.shard is not None:
+                shard = outcome.shard
+                break
+            # Simulate both transport hops on the payload bytes.
+            resume = pickle.loads(pickle.dumps(outcome.payload))
+        assert shard is not None
+        assert (deterministic_result_view(shard.result)
+                == deterministic_result_view(monolithic.result))
+        assert (shard.coverage.global_counts
+                == monolithic.coverage.global_counts)
+
+
+class TestByteBudgetEndToEnd:
+    def test_oversized_checkpoint_shrinks_next_chunk(self):
+        """The adaptive feedback at the scheduler surface: a cell whose
+        checkpoints hit the budget dispatches minimal chunks next."""
+        specs = tiny_matrix(max_evaluations=100, seeds_per_cell=1,
+                            faults=[None])
+        controller = ChunkSizeController(mode="adaptive",
+                                         chunk_evaluations=10,
+                                         target_chunk_seconds=1.0,
+                                         max_checkpoint_bytes=1000)
+        scheduler = ChunkScheduler(specs, chunk_evaluations=10,
+                                   controller=controller)
+        task = scheduler.next_task()
+        assert task.pause_after == 10
+        scheduler.record(ChunkOutcome(
+            index=task.index, payload=ChunkPayload(data=b"x" * 999),
+            telemetry=ChunkTelemetry(evaluations=10, wall_seconds=1.0,
+                                     checkpoint_bytes=999)))
+        shrunk = scheduler.next_task()
+        assert shrunk.pause_after == 1
+
+    def test_budgeted_tcp_sweep_never_raises_frame_too_large(self):
+        """Checkpoints (~9 KiB here) exceed the derived budget the whole
+        sweep, so every dispatch runs at minimum chunk size — and the
+        sweep completes instead of dying on an oversized frame."""
+        specs = tiny_matrix(max_evaluations=4, seeds_per_cell=1)
+        serial = run_campaigns(specs, workers=1)
+        budgeted = run_campaigns(specs, workers=1, transport="tcp",
+                                 chunk_evaluations=2,
+                                 chunk_sizing="adaptive",
+                                 target_chunk_seconds=0.02,
+                                 max_frame_bytes=32768)
+        assert outcomes(serial) == outcomes(budgeted)
+        assert (serial.coverage.global_counts
+                == budgeted.coverage.global_counts)
+
+    def test_budgeted_local_pool_matches_serial(self):
+        specs = tiny_matrix(max_evaluations=5)
+        serial = run_campaigns(specs, workers=1)
+        budgeted = run_campaigns(specs, workers=2, chunk_evaluations=2,
+                                 max_checkpoint_bytes=4096)
+        assert outcomes(serial) == outcomes(budgeted)
+
+    def test_serial_budget_exercises_payload_path(self):
+        """workers=1 with a budget measures real payloads (debuggable)."""
+        specs = tiny_matrix(max_evaluations=4, seeds_per_cell=1,
+                            faults=[None])
+        serial_plain = run_campaigns(specs, workers=1)
+        serial_budget = run_campaigns(specs, workers=1,
+                                      chunk_evaluations=2,
+                                      max_checkpoint_bytes=4096)
+        assert outcomes(serial_plain) == outcomes(serial_budget)
+
+    def test_coordinator_derives_budget_from_frame_cap(self):
+        server = Coordinator(tiny_matrix(seeds_per_cell=1),
+                             chunk_evaluations=2,
+                             max_frame_bytes=1 << 20)
+        try:
+            controller = server._scheduler.controller
+            assert controller.max_checkpoint_bytes == \
+                (1 << 20) // CHECKPOINT_FRAME_FRACTION
+        finally:
+            server.close()
+
+    def test_coordinator_explicit_budget_wins(self):
+        server = Coordinator(tiny_matrix(seeds_per_cell=1),
+                             chunk_evaluations=2,
+                             max_checkpoint_bytes=12345)
+        try:
+            assert server._scheduler.controller.max_checkpoint_bytes == 12345
+        finally:
+            server.close()
+
+    def test_unchunked_coordinator_has_no_budget(self):
+        """No chunking means no checkpoints: nothing to budget."""
+        server = Coordinator(tiny_matrix(seeds_per_cell=1))
+        try:
+            assert server._scheduler.controller.max_checkpoint_bytes is None
+        finally:
+            server.close()
+
+    def test_unchunked_coordinator_rejects_explicit_budget(self):
+        """An explicit budget without chunking would be silently inert;
+        the coordinator must reject it like the library API does."""
+        with pytest.raises(ValueError, match="chunk_evaluations"):
+            Coordinator(tiny_matrix(seeds_per_cell=1),
+                        max_checkpoint_bytes=4096)
+
+
+class TestValidation:
+    def test_budget_requires_chunking(self):
+        with pytest.raises(ValueError, match="chunk_evaluations"):
+            run_campaigns([], workers=1, max_checkpoint_bytes=1024)
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_checkpoint_bytes"):
+            run_campaigns([], workers=1, chunk_evaluations=2,
+                          max_checkpoint_bytes=0)
+
+    def test_frame_cap_requires_tcp(self):
+        with pytest.raises(ValueError, match="transport='tcp'"):
+            run_campaigns([], workers=1, max_frame_bytes=1 << 20)

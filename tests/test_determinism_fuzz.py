@@ -16,7 +16,10 @@ chunks from *nondeterministic wall-clock telemetry*, so every run pauses
 campaigns at different points — yet checkpointed resumption is bit-exact,
 so the reported results must not move at all.  The adaptive runs use a
 tiny ``target_chunk_seconds`` to force the controller to actually move
-chunk sizes around mid-sweep.
+chunk sizes around mid-sweep.  The byte-budgeted variants additionally
+set ``max_checkpoint_bytes`` below the real checkpoint size, so the byte
+budget actively shrinks chunks (and continuations travel as
+pre-serialized ``ChunkPayload`` bytes) — still bit-identical.
 
 This is the determinism contract that makes cross-host sharding safe: a
 chunk may be re-queued, re-run or migrated anywhere without changing any
@@ -105,6 +108,19 @@ def test_all_schedulers_match_serial(fuzz_seed):
                                        chunk_evaluations=chunk_evaluations,
                                        chunk_sizing="adaptive",
                                        target_chunk_seconds=0.02),
+        # Byte-budgeted adaptive sizing: the 4 KiB budget sits well below
+        # the real checkpoint size (~9 KiB), so the budget feedback
+        # actively forces chunks to the minimum mid-sweep — pause points
+        # churn maximally, results must not move.
+        "serial-adaptive-budget": dict(workers=1,
+                                       chunk_evaluations=chunk_evaluations,
+                                       chunk_sizing="adaptive",
+                                       target_chunk_seconds=0.02,
+                                       max_checkpoint_bytes=4096),
+        "work-stealing-adaptive-budget": dict(
+            workers=workers, chunk_evaluations=chunk_evaluations,
+            chunk_sizing="adaptive", target_chunk_seconds=0.02,
+            max_checkpoint_bytes=4096),
     }
     if fuzz_seed == 0:
         # Loopback-TCP coordinator with real worker subprocesses: the
@@ -115,6 +131,11 @@ def test_all_schedulers_match_serial(fuzz_seed):
             workers=2, transport="tcp",
             chunk_evaluations=chunk_evaluations,
             chunk_sizing="adaptive", target_chunk_seconds=0.02)
+        modes["loopback-tcp-adaptive-budget"] = dict(
+            workers=2, transport="tcp",
+            chunk_evaluations=chunk_evaluations,
+            chunk_sizing="adaptive", target_chunk_seconds=0.02,
+            max_checkpoint_bytes=4096)
     for mode, options in modes.items():
         report = run_campaigns(specs, **options)
         assert outcome_view(report) == reference_outcomes, (

@@ -139,11 +139,46 @@ class TestAddresses:
         assert parse_address(("host", 12)) == ("host", 12)
         assert format_address(("h", 1)) == "h:1"
 
+    def test_parse_bracketed_ipv6(self):
+        """Brackets are stripped: sockets want the bare literal."""
+        assert parse_address("[::1]:8080") == ("::1", 8080)
+        assert parse_address("[fe80::1%eth0]:7777") == ("fe80::1%eth0", 7777)
+        assert parse_address(
+            "[2001:db8::42]:80") == ("2001:db8::42", 80)
+
+    def test_format_rebrackets_ipv6(self):
+        assert format_address(("::1", 8080)) == "[::1]:8080"
+        assert parse_address(format_address(("::1", 8080))) == ("::1", 8080)
+
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_address("no-port")
         with pytest.raises(ValueError):
             parse_address(42)
+
+    def test_parse_rejects_malformed_ipv6(self):
+        with pytest.raises(ValueError, match=r"\[ipv6\]:port"):
+            parse_address("[::1]")  # bracketed but portless
+        with pytest.raises(ValueError, match=r"\[ipv6\]:port"):
+            parse_address("[::1]:")  # empty port
+        with pytest.raises(ValueError, match="ambiguous"):
+            parse_address("::1:8080")  # unbracketed multi-colon
+
+    def test_ipv6_loopback_round_trip(self):
+        """A coordinator bound via the bracketed form is reachable."""
+        server = Coordinator(tiny_matrix(seeds_per_cell=1),
+                             bind="[::1]:0", lease_timeout=5.0)
+        try:
+            host = server.address[0]
+            assert host == "::1"
+            with socket.create_connection(
+                    (host, server.address[1]), timeout=5) as sock:
+                send_frame(sock, ("hello", PROTOCOL_MAGIC,
+                                  PROTOCOL_VERSION, "v6-worker"))
+                reply = recv_frame(sock)
+                assert reply[0] == "welcome"
+        finally:
+            server.close()
 
 
 class TestHandshake:
