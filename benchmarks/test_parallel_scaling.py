@@ -71,6 +71,15 @@ TARGET_CHUNK_SECONDS = 0.05
 #: (exactly where a contiguous static partition hurts most) among short
 #: shards.
 HETERO_BUDGETS = (36, 36, 6, 6, 6, 6, 6, 6)
+#: Memoization benchmark matrix: litmus campaigns recycle a small set of
+#: execution shapes, so the verdict cache sees a high hit-rate; enough
+#: evaluations that the saved cycle checks rise above timer noise.
+MEMO_SEEDS = 8
+MEMO_EVALUATIONS = 24
+MEMO_CHUNK_EVALUATIONS = 8
+#: Interleaved repetitions of the memo-on/memo-off pair; the best (least
+#: noisy) check-time of each side is compared.
+MEMO_ROUNDS = 3
 
 
 def _sweep_specs():
@@ -106,6 +115,11 @@ def _scaling_assertions_enabled(reason: str) -> bool:
     if default_workers() < WORKERS:
         pytest.skip(f"host exposes {default_workers()} CPU(s); "
                     f"need {WORKERS} to assert {reason}")
+    return _timing_assertions_enabled(reason)
+
+
+def _timing_assertions_enabled(reason: str) -> bool:
+    """Gate for timing assertions that need quiet, not parallel, CPUs."""
     if os.environ.get("REPRO_STRICT_SCALING", "1") == "0":
         pytest.skip(f"wall-clock {reason} assertion disabled "
                     "(REPRO_STRICT_SCALING=0)")
@@ -209,6 +223,46 @@ def serialization_costs():
         "graph_pickles_avoided_per_pause": 2,
         "bytes_saved_per_pause": 2 * payload.nbytes,
     }, paused, payload
+
+
+def _memo_specs():
+    return campaign_matrix(
+        kinds=[GeneratorKind.DIY_LITMUS],
+        faults=[None],
+        generator_config=bench_generator_config(memory_kib=1),
+        system_config=SystemConfig(),
+        max_evaluations=MEMO_EVALUATIONS,
+        seeds_per_cell=MEMO_SEEDS,
+        base_seed=42)
+
+
+@pytest.fixture(scope="module")
+def memo_sweeps():
+    """Collective checking on vs off on a litmus-heavy serial sweep.
+
+    The serial path isolates checker time from scheduling noise: both
+    runs execute the identical evaluation stream, so the only difference
+    is whether each verdict is recomputed (three cycle checks) or served
+    from the signature-keyed :class:`VerdictCache`.  The memo-on/memo-off
+    pair is repeated ``MEMO_ROUNDS`` times interleaved and the best
+    check-time of each side kept, damping scheduler jitter.
+    """
+    specs = _memo_specs()
+
+    def run(verdict_memo):
+        report = run_campaigns(specs, workers=1,
+                               chunk_evaluations=MEMO_CHUNK_EVALUATIONS,
+                               verdict_memo=verdict_memo)
+        check = sum(shard.result.check_seconds for shard in report.shards)
+        return report.shards, check, report.wall_seconds, report.verdict_cache
+
+    best = {}
+    for _ in range(MEMO_ROUNDS):
+        for memo in (False, True):
+            shards, check, wall, cache = run(memo)
+            if memo not in best or check < best[memo][1]:
+                best[memo] = (shards, check, wall, cache)
+    return best[False], best[True]
 
 
 @pytest.fixture(scope="module")
@@ -320,6 +374,51 @@ def test_adaptive_reduces_tail_latency(adaptive_sweeps, benchmark, capsys):
             f"fixed_tail={fixed_tail:.3f}s")
 
 
+def test_memoized_results_match_unmemoized(memo_sweeps):
+    """Collective checking is invisible in every reported result."""
+    (plain_shards, _, _, _), (memo_shards, _, _, cache) = memo_sweeps
+    assert ([(shard.result.found, shard.result.evaluations_to_find,
+              shard.result.evaluations) for shard in plain_shards]
+            == [(shard.result.found, shard.result.evaluations_to_find,
+                 shard.result.evaluations) for shard in memo_shards])
+    assert cache is not None
+    assert cache["hits"] > 0
+    assert cache["hit_rate"] > 0.0
+
+
+def test_memoized_checking_is_faster(memo_sweeps, benchmark, capsys):
+    """The signature + cache lookup undercuts the three cycle checks.
+
+    Litmus campaigns re-generate a small set of execution shapes, so
+    most verdicts are cache hits; memoization only pays off if
+    fingerprinting an execution is clearly cheaper than checking it,
+    which is exactly what this guards (the signature is deliberately a
+    single thread-granularity refinement pass, not per-event color
+    rounds).
+    """
+    (_, plain_check, plain_wall, _), (memo_shards, memo_check, memo_wall,
+                                      cache) = memo_sweeps
+    evaluations = sum(shard.result.evaluations for shard in memo_shards)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(f"uncached: check={plain_check:.3f}s "
+              f"({evaluations / plain_check:.0f} evals/check-s) "
+              f"wall={plain_wall:.2f}s")
+        print(f"cached:   check={memo_check:.3f}s "
+              f"({evaluations / memo_check:.0f} evals/check-s) "
+              f"wall={memo_wall:.2f}s "
+              f"hit_rate={cache['hit_rate']:.0%} "
+              f"saved={cache['seconds_saved']:.3f}s")
+    # Serial on both sides, so no CPU-count requirement — only quiet.
+    if _timing_assertions_enabled("memoized checking"):
+        assert memo_check < plain_check, (
+            "memoized checking should spend less checker time than "
+            f"recomputing every verdict: cached={memo_check:.3f}s "
+            f"uncached={plain_check:.3f}s "
+            f"hit_rate={cache['hit_rate']:.0%}")
+
+
 def test_payload_bytes_forwarded_verbatim(serialization_costs):
     """Deterministic single-serialization check at the wire level.
 
@@ -356,7 +455,8 @@ def test_single_serialization_beats_double(serialization_costs, benchmark,
 
 
 def test_bench_json_artifact(sweeps, hetero_sweeps, tcp_sweep,
-                             adaptive_sweeps, serialization_costs):
+                             adaptive_sweeps, serialization_costs,
+                             memo_sweeps):
     """Dump the measured numbers for CI's BENCH_parallel.json artifact."""
     path = os.environ.get("REPRO_BENCH_JSON")
     if not path:
@@ -365,6 +465,10 @@ def test_bench_json_artifact(sweeps, hetero_sweeps, tcp_sweep,
     hetero_serial, stealing, static = hetero_sweeps
     (fixed, fixed_tail), (adaptive, adaptive_tail) = adaptive_sweeps
     serialization, _, _ = serialization_costs
+    ((_, plain_check, plain_wall, _),
+     (memo_shards, memo_check, memo_wall, memo_cache)) = memo_sweeps
+    memo_evaluations = sum(shard.result.evaluations
+                           for shard in memo_shards)
     payload = {
         "python": platform.python_version(),
         "workers": WORKERS,
@@ -402,6 +506,25 @@ def test_bench_json_artifact(sweeps, hetero_sweeps, tcp_sweep,
             # current single-serialization ChunkPayload path on a real
             # mid-campaign checkpoint.
             **serialization,
+        },
+        "memoization": {
+            # Collective checking on the litmus-heavy serial sweep:
+            # checker seconds with every verdict recomputed vs served
+            # from the signature-keyed sweep-wide cache, plus the
+            # cache's own view (hit-rate, checker seconds it skipped).
+            "shards": MEMO_SEEDS,
+            "evaluations": memo_evaluations,
+            "chunk_evaluations": MEMO_CHUNK_EVALUATIONS,
+            "rounds": MEMO_ROUNDS,
+            "uncached_check_seconds": plain_check,
+            "cached_check_seconds": memo_check,
+            "uncached_evals_per_check_second": memo_evaluations / plain_check,
+            "cached_evals_per_check_second": memo_evaluations / memo_check,
+            "uncached_wall_seconds": plain_wall,
+            "cached_wall_seconds": memo_wall,
+            "hit_rate": memo_cache["hit_rate"],
+            "cache_hits": memo_cache["hits"],
+            "check_seconds_saved": memo_cache["seconds_saved"],
         },
         "distributed": {
             # Same heterogeneous sweep served over loopback TCP: the

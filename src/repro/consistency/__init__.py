@@ -18,6 +18,10 @@ from repro.consistency.execution import CandidateExecution, execution_from_trace
 from repro.consistency.models import (MemoryModel, SequentialConsistency,
                                       TotalStoreOrder, model_by_name)
 from repro.consistency.checker import CheckResult, Checker, Violation
+from repro.consistency.memo import (CachedVerdict, VerdictCache,
+                                    VerdictCacheDelta, VerdictCacheState)
+from repro.consistency.signature import (ExecutionSignature, canonical_form,
+                                         execution_signature)
 
 __all__ = [
     "Event",
@@ -32,4 +36,11 @@ __all__ = [
     "CheckResult",
     "Checker",
     "Violation",
+    "CachedVerdict",
+    "VerdictCache",
+    "VerdictCacheDelta",
+    "VerdictCacheState",
+    "ExecutionSignature",
+    "canonical_form",
+    "execution_signature",
 ]

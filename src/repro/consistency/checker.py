@@ -12,16 +12,30 @@ Checks performed (all polynomial, per paper §2.1 and §4.1):
 Any inconsistency in the observed trace itself (a read returning a value no
 write produced, a branching coherence order, i.e. a lost update) is also
 reported as a violation - these indicate memory-system data corruption.
+
+When handed a :class:`~repro.consistency.memo.VerdictCache`, the checker
+runs MTraceCheck-style collective checking: each execution is fingerprinted
+(:func:`~repro.consistency.signature.execution_signature`) and a cached
+*passing* verdict for the same canonical signature skips the three cycle
+checks outright — the returned ``CheckResult.ok(execution)`` is
+byte-identical to what a full check of this (isomorphic) execution would
+produce, so memoization never changes what is reported.  Cached *failing*
+verdicts never short-circuit: the check re-runs so violation descriptions
+name the events of the execution actually at hand (a failing check ends a
+campaign, so this path stays rare and cheap).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.consistency.execution import (CandidateExecution, ExecutionBuildError,
                                          execution_from_trace)
+from repro.consistency.memo import KEYING_CANONICAL, CachedVerdict, VerdictCache
 from repro.consistency.models import MemoryModel
 from repro.consistency.relations import Relation
+from repro.consistency.signature import execution_signature
 from repro.sim.testprogram import TestThread
 from repro.sim.trace import ExecutionTrace
 
@@ -40,11 +54,17 @@ class Violation:
 
 @dataclass
 class CheckResult:
-    """Result of checking one candidate execution."""
+    """Result of checking one candidate execution.
+
+    ``trace`` is only populated on the corruption path, where no
+    ``CandidateExecution`` could be built — it preserves the partial
+    context (the raw observed trace) for diagnosis.
+    """
 
     passed: bool
     violations: list[Violation] = field(default_factory=list)
     execution: CandidateExecution | None = None
+    trace: ExecutionTrace | None = None
 
     @classmethod
     def ok(cls, execution: CandidateExecution) -> "CheckResult":
@@ -59,15 +79,42 @@ class Checker:
 
     # ------------------------------------------------------------------
 
-    def check_trace(self, threads: list[TestThread],
-                    trace: ExecutionTrace) -> CheckResult:
-        """Build the execution from a trace and check it."""
+    def check_trace(self, threads: list[TestThread], trace: ExecutionTrace,
+                    cache: VerdictCache | None = None) -> CheckResult:
+        """Build the execution from a trace and check it.
+
+        With a *cache*, the check is memoized by canonical execution
+        signature (corrupted traces never touch the cache — there is no
+        execution to fingerprint).
+        """
         try:
             execution = execution_from_trace(threads, trace)
         except ExecutionBuildError as error:
             return CheckResult(passed=False, violations=[
-                Violation(kind="corruption", description=str(error))])
-        return self.check(execution)
+                Violation(kind="corruption", description=str(error))],
+                trace=trace)
+        if cache is None:
+            return self.check(execution)
+        return self.check_memoized(execution, cache)
+
+    def check_memoized(self, execution: CandidateExecution,
+                       cache: VerdictCache) -> CheckResult:
+        """Check *execution*, skipping the cycle checks on a passing hit."""
+        signature = execution_signature(
+            execution, self.model, keep_form=cache.keying == KEYING_CANONICAL)
+        cached = cache.lookup(signature.key)
+        if cached is not None and cached.passed:
+            return CheckResult.ok(execution)
+        started = time.perf_counter()
+        result = self.check(execution)
+        if cached is None:
+            cache.store(signature.key,
+                        CachedVerdict(
+                            passed=result.passed,
+                            violation_kinds=tuple(violation.kind for violation
+                                                  in result.violations)),
+                        check_seconds=time.perf_counter() - started)
+        return result
 
     def check(self, execution: CandidateExecution) -> CheckResult:
         violations: list[Violation] = []
@@ -101,7 +148,20 @@ class Checker:
             chain = execution.co_chains.get(read.address, [])
             if source not in chain or write not in chain:
                 continue
-            gap = chain[chain.index(source) + 1: chain.index(write)]
+            source_index = chain.index(source)
+            write_index = chain.index(write)
+            if write_index <= source_index:
+                # The RMW's write is coherence-ordered at or before the
+                # write its read observed: the pair went backwards in co,
+                # which is itself an atomicity violation (the old slice
+                # came out empty here and silently passed).
+                violations.append(Violation(
+                    kind="atomicity",
+                    description=(f"RMW atomicity violated at {read.address:#x}: "
+                                 f"write {write.eid} is coherence-ordered "
+                                 f"before its read's source {source.eid}")))
+                continue
+            gap = chain[source_index + 1: write_index]
             if gap:
                 violations.append(Violation(
                     kind="atomicity",

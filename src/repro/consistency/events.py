@@ -40,6 +40,13 @@ class Event:
     po_index: int
     is_atomic: bool = False   # part of a read-modify-write pair
 
+    def __hash__(self) -> int:
+        # eid is globally unique, so hashing it alone is consistent with
+        # the generated field-wise equality while skipping the enum and
+        # int fields — events key the relation dicts and the signature
+        # interning table, so this hash is on every checker hot path.
+        return hash(self.eid)
+
     @property
     def is_read(self) -> bool:
         return self.kind is EventKind.READ

@@ -1,0 +1,281 @@
+"""A mergeable, bounded verdict cache for collective checking.
+
+:class:`VerdictCache` memoizes checker verdicts keyed by canonical
+execution signature (:mod:`repro.consistency.signature`), so a sweep
+pays full checker cost only on novel behaviours.  Like
+``CoverageCollector`` it is built to *fold across shards*: ``mark()`` /
+``delta()`` extract exactly the entries a chunk discovered,
+``merge()`` folds states or deltas from other workers in, and
+``snapshot()`` / ``restore()`` round-trip the whole cache through
+checkpoints.  All state is plain picklable data, so shipments ride the
+existing chunk-dispatch and outcome hops unchanged.
+
+The determinism contract (cache-on bit-for-bit ≡ cache-off) is enforced
+one layer up, in :class:`~repro.consistency.checker.Checker`: only
+*passing* verdicts short-circuit a check (a pass carries no violation
+text, so replaying it is byte-identical to recomputing it); a cached
+*failing* verdict is always re-checked so the violation descriptions are
+regenerated from the actual execution at hand.  The cache itself
+therefore only ever changes *when* work happens, never what is reported
+— hit/miss/seconds-saved counters are telemetry, excluded from the
+determinism contract exactly like wall-clock timings.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+#: Default LRU bound: entries are ~100 pickled bytes, so a full cache
+#: snapshots to a couple of MiB — comfortably inside the chunk-dispatch
+#: byte budgets.
+DEFAULT_CACHE_CAPACITY = 16384
+
+#: Cap on the entries an engine checkpoint carries.  Checkpoint cache
+#: state is a warm-start optimization only (verdicts are
+#: cache-independent), so a resumed chunk losing cold entries costs at
+#: most re-checks — never correctness — while checkpoints stay lean.
+CHECKPOINT_STATE_MAX_ENTRIES = 4096
+
+KEYING_DIGEST = "digest"
+KEYING_CANONICAL = "canonical"
+KEYING_MODES = (KEYING_DIGEST, KEYING_CANONICAL)
+
+
+@dataclass(frozen=True)
+class CachedVerdict:
+    """The memoized outcome of one unique execution signature."""
+
+    passed: bool
+    violation_kinds: tuple = ()
+
+
+@dataclass(frozen=True)
+class VerdictCacheState:
+    """A full, picklable snapshot of a cache (entries oldest-first)."""
+
+    capacity: int
+    keying: str
+    entries: tuple  # ((key, CachedVerdict), ...) in LRU order
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    failed_refreshes: int = 0
+    seconds_saved: float = 0.0
+    check_seconds_observed: float = 0.0
+    checks_observed: int = 0
+
+
+@dataclass(frozen=True)
+class VerdictCacheDelta:
+    """Entries inserted and counters accumulated since a ``mark()``."""
+
+    entries: tuple  # ((key, CachedVerdict), ...) in insertion order
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    failed_refreshes: int = 0
+    seconds_saved: float = 0.0
+    check_seconds_observed: float = 0.0
+    checks_observed: int = 0
+
+
+@dataclass(frozen=True)
+class CacheMark:
+    """An opaque position in a cache's insertion/counter history."""
+
+    insert_seq: int
+    hits: int
+    misses: int
+    evictions: int
+    failed_refreshes: int
+    seconds_saved: float
+    check_seconds_observed: float
+    checks_observed: int
+
+
+class VerdictCache:
+    """Bounded LRU of signature → verdict with mergeable delta extraction.
+
+    ``keying`` selects what the checker uses as the key: ``"digest"``
+    (compact SHA-256 hex, the default) or ``"canonical"`` (the full
+    canonical form — collision-safe, used by tests to prove the digest
+    path agrees with it).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY,
+                 keying: str = KEYING_DIGEST) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if keying not in KEYING_MODES:
+            raise ValueError(f"keying must be one of {KEYING_MODES}, "
+                             f"got {keying!r}")
+        self.capacity = capacity
+        self.keying = keying
+        # key -> (verdict, insert_seq); OrderedDict order is LRU order.
+        self._entries: OrderedDict = OrderedDict()
+        self._insert_seq = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.failed_refreshes = 0
+        self.seconds_saved = 0.0
+        self.check_seconds_observed = 0.0
+        self.checks_observed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    @property
+    def inserts(self) -> int:
+        """Monotone insertion counter — cheap change-detection for shipments."""
+        return self._insert_seq
+
+    def _mean_check_seconds(self) -> float:
+        if not self.checks_observed:
+            return 0.0
+        return self.check_seconds_observed / self.checks_observed
+
+    def lookup(self, key) -> CachedVerdict | None:
+        """The cached verdict for *key*, updating counters and LRU order.
+
+        A passing hit is the payoff (the caller may skip the check, so
+        the running mean of observed check times accrues to
+        ``seconds_saved``); a failing hit counts as ``failed_refreshes``
+        because the caller re-checks to regenerate violation context.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        verdict = entry[0]
+        if verdict.passed:
+            self.hits += 1
+            self.seconds_saved += self._mean_check_seconds()
+        else:
+            self.failed_refreshes += 1
+        return verdict
+
+    def store(self, key, verdict: CachedVerdict,
+              check_seconds: float = 0.0) -> None:
+        """Record the verdict of a fully executed check for *key*."""
+        self.check_seconds_observed += check_seconds
+        self.checks_observed += 1
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = (verdict, self._insert_seq)
+        self._insert_seq += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # -- delta / merge / snapshot (the CoverageCollector.merge idiom) -----
+
+    def mark(self) -> CacheMark:
+        """A position marker; ``delta(mark)`` returns what happened since."""
+        return CacheMark(insert_seq=self._insert_seq, hits=self.hits,
+                         misses=self.misses, evictions=self.evictions,
+                         failed_refreshes=self.failed_refreshes,
+                         seconds_saved=self.seconds_saved,
+                         check_seconds_observed=self.check_seconds_observed,
+                         checks_observed=self.checks_observed)
+
+    def delta(self, mark: CacheMark) -> VerdictCacheDelta:
+        """Entries inserted and counters accumulated since *mark*.
+
+        Entries merged in from elsewhere before the mark (e.g. a
+        dispatch shipment) carry older sequence numbers and are
+        excluded — a chunk's delta is exactly its own discoveries.
+        Entries evicted since the mark simply drop out; eviction only
+        ever costs downstream re-checks.
+        """
+        fresh = tuple(sorted(((key, entry[0])
+                              for key, entry in self._entries.items()
+                              if entry[1] >= mark.insert_seq),
+                             key=lambda item: self._entries[item[0]][1]))
+        return VerdictCacheDelta(
+            entries=fresh,
+            hits=self.hits - mark.hits,
+            misses=self.misses - mark.misses,
+            evictions=self.evictions - mark.evictions,
+            failed_refreshes=self.failed_refreshes - mark.failed_refreshes,
+            seconds_saved=self.seconds_saved - mark.seconds_saved,
+            check_seconds_observed=(self.check_seconds_observed
+                                    - mark.check_seconds_observed),
+            checks_observed=self.checks_observed - mark.checks_observed)
+
+    def merge(self, other: "VerdictCacheState | VerdictCacheDelta") -> int:
+        """Fold entries from a state or delta in; returns entries adopted.
+
+        Idempotent on keys: known keys are left untouched (not even
+        LRU-refreshed, so merge order cannot perturb eviction order
+        beyond what insertions already do).  Counters are *not* merged —
+        they describe where the entries were earned; aggregation across
+        shards happens in the scheduler's telemetry fold.
+        """
+        adopted = 0
+        for key, verdict in other.entries:
+            if key in self._entries:
+                continue
+            self._entries[key] = (verdict, self._insert_seq)
+            self._insert_seq += 1
+            adopted += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return adopted
+
+    def snapshot(self, max_entries: int | None = None) -> VerdictCacheState:
+        """A picklable state (optionally only the *max_entries* newest)."""
+        entries = tuple((key, entry[0])
+                        for key, entry in self._entries.items())
+        if max_entries is not None and len(entries) > max_entries:
+            entries = entries[len(entries) - max_entries:]
+        return VerdictCacheState(
+            capacity=self.capacity, keying=self.keying, entries=entries,
+            hits=self.hits, misses=self.misses, evictions=self.evictions,
+            failed_refreshes=self.failed_refreshes,
+            seconds_saved=self.seconds_saved,
+            check_seconds_observed=self.check_seconds_observed,
+            checks_observed=self.checks_observed)
+
+    def restore(self, state: VerdictCacheState) -> None:
+        """Replace all cache contents and counters with *state*."""
+        self.capacity = state.capacity
+        self.keying = state.keying
+        self._entries = OrderedDict()
+        self._insert_seq = 0
+        for key, verdict in state.entries:
+            self._entries[key] = (verdict, self._insert_seq)
+            self._insert_seq += 1
+        self.hits = state.hits
+        self.misses = state.misses
+        self.evictions = state.evictions
+        self.failed_refreshes = state.failed_refreshes
+        self.seconds_saved = state.seconds_saved
+        self.check_seconds_observed = state.check_seconds_observed
+        self.checks_observed = state.checks_observed
+
+    @classmethod
+    def from_state(cls, state: VerdictCacheState) -> "VerdictCache":
+        cache = cls(capacity=state.capacity, keying=state.keying)
+        cache.restore(state)
+        return cache
+
+    def stats(self) -> dict:
+        """Telemetry view: entry count, hit-rate and seconds saved."""
+        lookups = self.hits + self.misses + self.failed_refreshes
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "failed_refreshes": self.failed_refreshes,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+            "seconds_saved": round(self.seconds_saved, 6),
+        }

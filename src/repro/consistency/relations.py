@@ -67,11 +67,20 @@ class Relation:
         colour: dict[Node, int] = {}
         parent: dict[Node, Node] = {}
 
+        # One repr per node up front, then successor sets ordered by that
+        # rank — the same deterministic order the old per-push
+        # ``sorted(..., key=repr)`` produced, without re-stringifying every
+        # successor set on every DFS push (this is per-check hot path).
+        rank = {node: position
+                for position, node in enumerate(sorted(self.nodes(), key=repr))}
+        adjacency = {node: sorted(successors, key=rank.__getitem__)
+                     for node, successors in self._succ.items()}
+
         for start in list(self._succ):
             if colour.get(start, WHITE) != WHITE:
                 continue
             stack: list[tuple[Node, Iterable[Node]]] = [
-                (start, iter(sorted(self._succ.get(start, ()), key=repr)))]
+                (start, iter(adjacency.get(start, ())))]
             colour[start] = GREY
             while stack:
                 node, children = stack[-1]
@@ -89,9 +98,7 @@ class Relation:
                     if state == WHITE:
                         colour[child] = GREY
                         parent[child] = node
-                        stack.append(
-                            (child, iter(sorted(self._succ.get(child, ()),
-                                                key=repr))))
+                        stack.append((child, iter(adjacency.get(child, ()))))
                         advanced = True
                         break
                 if not advanced:

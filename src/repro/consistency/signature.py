@@ -1,0 +1,223 @@
+"""Canonical execution signatures for collective checking (MTraceCheck).
+
+A campaign rediscovers the same interleavings constantly: two executions
+that differ only in thread numbering, op ids or concrete addresses have
+the same axiomatic verdict, because the three acyclicity checks in
+:class:`~repro.consistency.checker.Checker` depend only on the *shape*
+of the event graph — which events exist per thread, which addresses they
+share, and the po/rf/co/fr (+RMW-pair) edge structure.  This module
+compresses a :class:`~repro.consistency.execution.CandidateExecution`
+into a canonical, renaming-invariant fingerprint of exactly that shape so
+the checker pays full cost only on *novel* behaviours (MTraceCheck's
+collective checking; see SNIPPETS.md §2).
+
+Soundness is the one property everything downstream leans on: equal
+canonical forms imply isomorphic execution graphs, which imply identical
+verdicts (acyclicity is isomorphism-invariant and the serialized form
+reconstructs every input of the verdict — thread shapes, per-execution
+injective address ids, the rf/co edge sets, RMW pairs and the model
+name; po is positional in the thread shapes, and fr and ppo are pure
+functions of what the form already pins down).
+The converse need not hold: an imperfect tie-break may *split* one
+isomorphism class into several signatures, which costs a cache miss but
+never merges distinct behaviours.  Canonicalization quality therefore
+only affects hit-rate, never correctness.
+
+Canonical renumbering orders threads by a renaming-invariant key: each
+thread's shape vector (per-event kind/atomicity/address-profile, in
+program order) refined by the sorted descriptors of every tagged
+rf/co/RMW edge touching the thread.  That is one refinement pass
+at thread granularity — deliberately cheaper than per-event
+Weisfeiler-Leman color rounds, because this function runs on *every
+checked iteration* and must stay well under the cost of the three cycle
+checks it lets the checker skip.  Everything that touches an ordering is
+sorted explicitly — set/dict hash order never leaks into the form, so
+signatures are stable across processes and hosts (``PYTHONHASHSEED``
+randomizes ``str`` hashes per process, and cache keys travel between
+worker processes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.consistency.events import Event
+from repro.consistency.execution import CandidateExecution
+from repro.consistency.models import MemoryModel
+from repro.consistency.relations import Relation
+
+
+@dataclass(frozen=True)
+class ExecutionSignature:
+    """A canonical fingerprint of one candidate execution.
+
+    ``digest`` is a SHA-256 over the serialized canonical form — compact
+    and collision-resistant, the default cache key.  ``form`` optionally
+    retains the full canonical form (``keep_form=True``): keying on it is
+    collision-*safe* by construction, which the signature tests and the
+    cache's ``canonical`` keying mode use to prove the digest never has
+    to be trusted blindly.
+    """
+
+    digest: str
+    form: tuple | None = None
+
+    @property
+    def key(self):
+        """The cache key: the full form when retained, else the digest."""
+        return self.form if self.form is not None else self.digest
+
+
+#: Integer relation tags of the refinement edges (ints hash and sort a
+#: lot faster than the relation-name strings on this hot path).
+_RF, _CO, _RMW = range(3)
+
+
+def _address_profiles(events: list[Event]) -> dict[int, tuple]:
+    """Renaming-invariant profile of each address: its sorted access multiset."""
+    accesses: dict[int, list] = {}
+    for event in events:
+        accesses.setdefault(event.address, []).append(
+            (event.kind.value, event.is_atomic))
+    return {address: tuple(sorted(per_address))
+            for address, per_address in accesses.items()}
+
+
+def canonical_form(execution: CandidateExecution,
+                   model: MemoryModel) -> tuple:
+    """The canonical, renaming-invariant form of *execution* under *model*.
+
+    The returned nested tuple of ints/strings/bools fully describes the
+    execution graph up to renaming of threads, op ids and addresses:
+    per-thread event shapes (kind, canonical address id, atomicity) plus
+    the rf/co edge sets and RMW pairs over canonically renumbered
+    events.  Two executions with equal forms are isomorphic and get
+    identical verdicts under *model*.
+
+    Internally every event is interned to a dense integer once, up
+    front, and all sorts compare homogeneous all-int tuples directly —
+    the checker calls this on every single iteration, so nothing here
+    may hash an ``Event`` per edge or sort with a ``repr`` key.
+    Canonical event names are ``(thread_rank, po_index)`` int pairs with
+    init writes at thread rank ``-1``.
+    """
+    program_events = list(execution.events)
+    profiles = _address_profiles(program_events)
+    profile_rank = {profile: rank
+                    for rank, profile in
+                    enumerate(sorted(set(profiles.values())))}
+
+    # Intern every participating event (program events, plus the init
+    # writes that surface through rf/co) to a dense index exactly once.
+    # Only the *informative* cross-thread edges drive the refinement: po
+    # is fully implied by each thread's own shape vector (a po edge says
+    # "slot i precedes slot i+1 in the same thread" — zero discriminating
+    # power), and fr is a pure function of rf and co (fr = rf⁻¹ ; co), so
+    # both would only add cost, never separate threads.
+    index: dict[Event, int] = {event: slot
+                               for slot, event in enumerate(program_events)}
+    events: list[Event] = list(program_events)
+    edges: list[tuple[int, int, int]] = []
+    for tag, relation in ((_RF, execution.rf), (_CO, execution.co)):
+        for src, dst in relation.edges():
+            src_slot = index.get(src)
+            if src_slot is None:
+                src_slot = index[src] = len(events)
+                events.append(src)
+            dst_slot = index.get(dst)
+            if dst_slot is None:
+                dst_slot = index[dst] = len(events)
+                events.append(dst)
+            edges.append((tag, src_slot, dst_slot))
+    atomic_pairs = execution.atomic_pairs()
+    for read, write in atomic_pairs:
+        edges.append((_RMW, index[read], index[write]))
+
+    # Thread shape vectors: the per-event local structure in program
+    # order (position in the tuple *is* the po index, so op ids never
+    # enter; addresses enter only through their invariant profile).
+    shapes = {pid: tuple((int(event.is_read), int(event.is_atomic),
+                          profile_rank[profiles[event.address]])
+                         for event in thread_events)
+              for pid, thread_events in execution.program_order.items()}
+    shape_rank = {shape: rank
+                  for rank, shape in enumerate(sorted(set(shapes.values())))}
+
+    # One refinement pass at thread granularity: every endpoint is
+    # described invariantly as (thread shape rank, po index) — init
+    # writes as (-1, address profile rank) — and each thread's key is
+    # its shape plus the sorted descriptors of all edges touching it.
+    # Threads left tied by this key are structurally interchangeable up
+    # to deeper symmetry; their relative order falls back to input
+    # order, which at worst splits an isomorphism class (a cache miss,
+    # never a wrong verdict).
+    descs: list[tuple[int, int]] = [
+        (-1, profile_rank.get(profiles.get(event.address, ()), -1))
+        if event.is_init else (shape_rank[shapes[event.pid]], event.po_index)
+        for event in events]
+    touching: dict[int, list] = {pid: [] for pid in execution.program_order}
+    for tag, src, dst in edges:
+        src_event, dst_event = events[src], events[dst]
+        if not src_event.is_init:
+            touching[src_event.pid].append(
+                (tag, 0, src_event.po_index) + descs[dst])
+        if not dst_event.is_init:
+            touching[dst_event.pid].append(
+                (tag, 1, dst_event.po_index) + descs[src])
+    thread_keys = {pid: (shapes[pid], tuple(sorted(touching[pid])))
+                   for pid in execution.program_order}
+    ordered_pids = sorted(execution.program_order,
+                          key=lambda pid: thread_keys[pid])
+
+    # Canonical names: program events become (thread_rank, po_index) and
+    # init writes (-1, address_id); addresses get *injective* ids by
+    # first occurrence in canonical traversal order (collapsing addresses
+    # to profile classes alone would lose which events share a
+    # location — unsound).
+    names: list[tuple | None] = [None] * len(events)
+    address_ids: dict[int, int] = {}
+    for thread_rank, pid in enumerate(ordered_pids):
+        for event in execution.program_order[pid]:
+            names[index[event]] = (thread_rank, event.po_index)
+            if event.address not in address_ids:
+                address_ids[event.address] = len(address_ids)
+    for slot, event in enumerate(events):
+        if event.is_init:
+            if event.address not in address_ids:  # pragma: no cover - defensive
+                address_ids[event.address] = len(address_ids)
+            names[slot] = (-1, address_ids[event.address])
+
+    def edge_list(relation: Relation) -> tuple:
+        return tuple(sorted((names[index[src]], names[index[dst]])
+                            for src, dst in relation.edges()))
+
+    threads_form = tuple(
+        tuple((event.kind.value, address_ids[event.address], event.is_atomic)
+              for event in execution.program_order[pid])
+        for pid in ordered_pids)
+    rmw_form = tuple(sorted((names[index[read]], names[index[write]])
+                            for read, write in atomic_pairs))
+    # No ppo or fr edge lists: ppo (+fences) is, for every model here, a
+    # pure function of the per-thread (kind, atomicity) sequences that
+    # threads_form captures completely, and fr is derived as rf⁻¹ ; co —
+    # equal forms already imply both are isomorphic, so serializing them
+    # would only re-derive what the form pins down, at signature cost.
+    return (model.name, threads_form,
+            ("rf", edge_list(execution.rf)),
+            ("co", edge_list(execution.co)),
+            ("rmw", rmw_form))
+
+
+def execution_signature(execution: CandidateExecution, model: MemoryModel,
+                        keep_form: bool = False) -> ExecutionSignature:
+    """Fingerprint *execution* under *model*.
+
+    The digest hashes the repr of the canonical form — nested tuples of
+    ints/strings/bools, so the byte stream is identical across processes
+    and hosts.  ``keep_form=True`` additionally retains the form itself
+    for collision-safe keying.
+    """
+    form = canonical_form(execution, model)
+    digest = hashlib.sha256(repr(form).encode("utf-8")).hexdigest()
+    return ExecutionSignature(digest=digest, form=form if keep_form else None)

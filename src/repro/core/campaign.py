@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import ClassVar
 
+from repro.consistency.memo import VerdictCache
 from repro.consistency.models import MemoryModel, TotalStoreOrder
 from repro.core.config import GeneratorConfig
 from repro.core.crossover import selective_crossover_mutate, single_point_crossover
@@ -133,7 +134,8 @@ class Campaign:
                  faults: FaultSet | None = None,
                  model: MemoryModel | None = None,
                  seed: int = 0,
-                 chromosome: Chromosome | None = None) -> None:
+                 chromosome: Chromosome | None = None,
+                 verdict_cache: "VerdictCache | None" = None) -> None:
         self.kind = kind
         self.chromosome = chromosome
         self.generator_config = generator_config
@@ -157,7 +159,7 @@ class Campaign:
         self.engine = VerificationEngine(
             generator_config, system_config, faults=self.faults,
             model=self.model, coverage=self.coverage, fitness=fitness,
-            seed=seed)
+            seed=seed, verdict_cache=verdict_cache)
         self.rng = random.Random(seed ^ 0xC0FFEE)
         self.generator = RandomTestGenerator(generator_config, self.rng)
         # Cross-evaluation state, checkpointed by :meth:`checkpoint`.

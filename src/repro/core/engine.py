@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass, field
 
 from repro.consistency.checker import Checker
+from repro.consistency.memo import (CHECKPOINT_STATE_MAX_ENTRIES, VerdictCache,
+                                    VerdictCacheState)
 from repro.consistency.models import MemoryModel, TotalStoreOrder
 from repro.core.config import GeneratorConfig
 from repro.core.fitness import AdaptiveCoverageFitness, FitnessReport
@@ -68,6 +70,11 @@ class EngineCheckpoint:
     test_runs: int
     coverage: CoverageState
     fitness: dict[str, object]
+    #: Warm-start state of the verdict cache, when memoization is on.
+    #: Verdicts are cache-independent (only passing entries short-circuit a
+    #: check), so this field affects resumed hit-rates, never results; it is
+    #: capped to the newest entries to keep checkpoints lean.
+    verdict_cache: VerdictCacheState | None = None
 
 
 class VerificationEngine:
@@ -80,13 +87,19 @@ class VerificationEngine:
                  coverage: CoverageCollector | None = None,
                  fitness: AdaptiveCoverageFitness | None = None,
                  barrier: object | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 verdict_cache: VerdictCache | None = None) -> None:
         self.generator_config = generator_config
         self.system_config = system_config
         self.faults = faults or FaultSet.none()
         self.model = model or TotalStoreOrder()
         self.coverage = coverage or CoverageCollector()
         self.checker = Checker(self.model)
+        # Collective checking: memoized verdicts keyed by canonical execution
+        # signature.  The cache object is typically shared — per worker or
+        # sweep-wide — so novel behaviours checked by one campaign are hits
+        # for every later one.
+        self.verdict_cache = verdict_cache
         self.fitness = fitness or AdaptiveCoverageFitness(
             self.coverage,
             initial_cutoff=generator_config.coverage_initial_cutoff,
@@ -107,10 +120,15 @@ class VerificationEngine:
 
     def checkpoint(self) -> EngineCheckpoint:
         """Snapshot the engine's cross-run state between two test-runs."""
+        cache_state = None
+        if self.verdict_cache is not None:
+            cache_state = self.verdict_cache.snapshot(
+                max_entries=CHECKPOINT_STATE_MAX_ENTRIES)
         return EngineCheckpoint(rng_state=self._seed_sequence.getstate(),
                                 test_runs=self.test_runs,
                                 coverage=self.coverage.checkpoint(),
-                                fitness=self.fitness.checkpoint())
+                                fitness=self.fitness.checkpoint(),
+                                verdict_cache=cache_state)
 
     def restore(self, checkpoint: EngineCheckpoint) -> None:
         """Restore cross-run state captured by :meth:`checkpoint`."""
@@ -118,6 +136,11 @@ class VerificationEngine:
         self.test_runs = checkpoint.test_runs
         self.coverage.restore(checkpoint.coverage)
         self.fitness.restore(checkpoint.fitness)
+        if checkpoint.verdict_cache is not None and self.verdict_cache is not None:
+            # Merge, don't overwrite: the live cache may already hold
+            # sweep-wide entries shipped at dispatch; both sources only
+            # add warm-start entries, never change verdicts.
+            self.verdict_cache.merge(checkpoint.verdict_cache)
 
     # ------------------------------------------------------------------
 
@@ -158,7 +181,8 @@ class VerificationEngine:
                 bug_found = True
                 break
             started = time.perf_counter()
-            check = self.checker.check_trace(threads, iteration.trace)
+            check = self.checker.check_trace(threads, iteration.trace,
+                                             cache=self.verdict_cache)
             check_seconds += time.perf_counter() - started
             if not check.passed:
                 violations.extend(str(violation) for violation in check.violations)

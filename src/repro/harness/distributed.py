@@ -82,7 +82,7 @@ from repro.harness.parallel import (CHUNK_SIZING_FIXED, CHUNK_SIZING_MODES,
                                     CampaignSpec, ChunkScheduler,
                                     ChunkSizeController, ChunkTask,
                                     ShardFailure, ShardResult, default_workers,
-                                    execute_chunk_task)
+                                    execute_chunk_task, merge_shipped_cache)
 
 PROTOCOL_MAGIC = "mcversi-distributed"
 PROTOCOL_VERSION = 1
@@ -365,6 +365,12 @@ class Coordinator:
     cannot shrink the checkpoint itself (size mostly tracks cumulative
     campaign progress), so a campaign whose checkpoint fundamentally
     exceeds ``max_frame_bytes`` still aborts via the frame-cap backstop.
+    ``verdict_memo=True`` turns on collective checking: the coordinator
+    folds every outcome's verdict-cache delta into a sweep-wide cache and
+    piggybacks its state (capped to a quarter of ``max_frame_bytes``,
+    oldest entries trimmed first) on each dispatched task, so every
+    worker hits on what every other worker already checked — results
+    stay bit-identical, only checker time moves.
     ``hosts_out`` / ``telemetry_out`` are caller-owned mutable mappings
     updated in place (under the coordinator lock) with per-host
     completion counts and live telemetry for progress displays.
@@ -378,6 +384,7 @@ class Coordinator:
                  lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                  max_checkpoint_bytes: int | None = None,
+                 verdict_memo: bool = False,
                  hosts_out: dict | None = None,
                  telemetry_out: dict | None = None,
                  handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT
@@ -403,8 +410,14 @@ class Coordinator:
             mode=chunk_sizing, chunk_evaluations=chunk_evaluations,
             target_chunk_seconds=target_chunk_seconds,
             max_checkpoint_bytes=max_checkpoint_bytes)
-        self._scheduler = ChunkScheduler(specs, chunk_evaluations,
-                                         controller=controller)
+        # Cache shipments share each task frame with the spec and resume
+        # checkpoint; cap them at the checkpoint budget's fraction so a
+        # full cache can never push a frame over ``max_frame_bytes``.
+        self._scheduler = ChunkScheduler(
+            specs, chunk_evaluations, controller=controller,
+            verdict_memo=verdict_memo,
+            max_cache_bytes=max(1, max_frame_bytes
+                                // CHECKPOINT_FRAME_FRACTION))
         self._lease_timeout = lease_timeout
         self._max_frame_bytes = max_frame_bytes
         self._hosts_out = hosts_out
@@ -815,6 +828,10 @@ def run_worker(address: object, name: str | None = None,
         heartbeats = threading.Thread(target=heartbeat_loop, daemon=True,
                                       name="worker-heartbeats")
         heartbeats.start()
+        # Collective checking: one persistent cache across every chunk
+        # this worker runs, fed by the sweep-wide shipment each
+        # cache-bearing task carries (see parallel.merge_shipped_cache).
+        verdict_cache = None
         while True:
             send(("request",))
             message = recv_reply()
@@ -846,7 +863,12 @@ def run_worker(address: object, name: str | None = None,
                 # coordinator's lease expires and re-queues the chunk.
                 stop.set()
                 time.sleep(3600.0)
-            outcome = execute_chunk_task(task)
+            if task.cache is not None:
+                verdict_cache = merge_shipped_cache(task.cache, verdict_cache)
+                outcome = execute_chunk_task(task,
+                                             verdict_cache=verdict_cache)
+            else:
+                outcome = execute_chunk_task(task)
             stats.chunks += 1
             if outcome.shard is not None:
                 stats.shards_completed += 1
@@ -941,6 +963,7 @@ def iter_distributed(specs: list[CampaignSpec],
                      chunk_sizing: str = CHUNK_SIZING_FIXED,
                      target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
                      max_checkpoint_bytes: int | None = None,
+                     verdict_memo: bool = False,
                      lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                      max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                      hosts_out: dict | None = None,
@@ -957,7 +980,9 @@ def iter_distributed(specs: list[CampaignSpec],
     ``max_checkpoint_bytes`` byte-budgets checkpoints (default: derived
     from ``max_frame_bytes``; see
     :class:`repro.harness.parallel.ChunkSizeController`);
-    ``telemetry_out`` receives live per-cell and per-host throughput.
+    ``verdict_memo=True`` memoizes checker verdicts sweep-wide (see
+    :class:`Coordinator`); ``telemetry_out`` receives live per-cell and
+    per-host throughput.
     """
     server = Coordinator(specs, chunk_evaluations=chunk_evaluations,
                          chunk_sizing=chunk_sizing,
@@ -965,6 +990,7 @@ def iter_distributed(specs: list[CampaignSpec],
                          bind=coordinator, lease_timeout=lease_timeout,
                          max_frame_bytes=max_frame_bytes,
                          max_checkpoint_bytes=max_checkpoint_bytes,
+                         verdict_memo=verdict_memo,
                          hosts_out=hosts_out, telemetry_out=telemetry_out)
     worker_args: tuple[str, ...] = ()
     if max_frame_bytes != DEFAULT_MAX_FRAME_BYTES:
@@ -1031,6 +1057,7 @@ def _coordinator_main(args: argparse.Namespace) -> int:
                          bind=args.bind, lease_timeout=args.lease_timeout,
                          max_frame_bytes=args.max_frame_bytes,
                          max_checkpoint_bytes=args.max_checkpoint_bytes,
+                         verdict_memo=args.verdict_memo,
                          hosts_out=hosts, telemetry_out=telemetry)
     worker_command = (f"python -m repro.harness.distributed worker "
                       f"--connect {format_address(server.address)}")
@@ -1163,6 +1190,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   "approach this size (default: "
                                   "max-frame-bytes/"
                                   f"{CHECKPOINT_FRAME_FRACTION})")
+    coordinator.add_argument("--verdict-memo", action="store_true",
+                             help="memoize checker verdicts sweep-wide: "
+                                  "workers ship canonical-signature cache "
+                                  "deltas back with each chunk and the "
+                                  "folded cache rides out on dispatch")
     coordinator.set_defaults(entry=_coordinator_main)
 
     worker = commands.add_parser(

@@ -52,7 +52,10 @@ class ExperimentSettings:
     instead of a local pool (see :mod:`repro.harness.distributed`);
     ``lease_timeout`` bounds how long a silently stalled TCP worker may
     hold a chunk before it is re-queued, and ``max_frame_bytes``
-    (tcp only) caps one wire frame.
+    (tcp only) caps one wire frame.  ``verdict_memo=True`` memoizes
+    checker verdicts sweep-wide by canonical execution signature
+    (collective checking; see :mod:`repro.consistency.memo`) — results
+    are bit-identical with the cache on or off.
     """
 
     generator_config: GeneratorConfig
@@ -71,6 +74,7 @@ class ExperimentSettings:
     coordinator: object = None
     lease_timeout: float = 30.0
     max_frame_bytes: int | None = None
+    verdict_memo: bool = False
 
     def with_memory(self, memory_kib: int) -> "ExperimentSettings":
         memory = TestMemoryLayout.kib(memory_kib)
@@ -92,6 +96,7 @@ class ExperimentSettings:
                              coordinator=self.coordinator,
                              lease_timeout=self.lease_timeout,
                              max_frame_bytes=self.max_frame_bytes,
+                             verdict_memo=self.verdict_memo,
                              on_result=on_result, progress=progress)
 
 

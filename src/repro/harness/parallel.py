@@ -115,6 +115,8 @@ from dataclasses import dataclass, field, replace
 from statistics import mean
 from typing import Callable, Iterator, TextIO
 
+from repro.consistency.memo import (DEFAULT_CACHE_CAPACITY, VerdictCache,
+                                    VerdictCacheDelta, VerdictCacheState)
 from repro.core.campaign import (Campaign, CampaignCheckpoint, CampaignResult,
                                  GeneratorKind)
 from repro.core.config import GeneratorConfig
@@ -181,25 +183,29 @@ class ShardResult:
     coverage: CoverageCollector
 
 
-def _campaign_for(spec: CampaignSpec) -> Campaign:
+def _campaign_for(spec: CampaignSpec,
+                  verdict_cache: VerdictCache | None = None) -> Campaign:
     return Campaign(kind=spec.kind,
                     generator_config=spec.generator_config,
                     system_config=spec.system_config,
                     faults=spec.fault_set(),
                     seed=spec.seed,
-                    chromosome=spec.chromosome)
+                    chromosome=spec.chromosome,
+                    verdict_cache=verdict_cache)
 
 
-def run_shard(spec: CampaignSpec) -> ShardResult:
+def run_shard(spec: CampaignSpec,
+              verdict_cache: VerdictCache | None = None) -> ShardResult:
     """Run one shard to completion in the current process."""
-    campaign = _campaign_for(spec)
+    campaign = _campaign_for(spec, verdict_cache)
     result = campaign.run(spec.max_evaluations, spec.time_limit_seconds)
     return ShardResult(spec=spec, result=result, coverage=campaign.coverage)
 
 
 def run_shard_chunk(spec: CampaignSpec,
                     checkpoint: "CampaignCheckpoint | ChunkPayload | None" = None,
-                    pause_after: int | None = None
+                    pause_after: int | None = None,
+                    verdict_cache: VerdictCache | None = None
                     ) -> tuple[ShardResult | None, CampaignCheckpoint | None]:
     """Run (a chunk of) one shard in the current process.
 
@@ -213,7 +219,7 @@ def run_shard_chunk(spec: CampaignSpec,
     """
     if isinstance(checkpoint, ChunkPayload):
         checkpoint = checkpoint.load()
-    campaign = _campaign_for(spec)
+    campaign = _campaign_for(spec, verdict_cache)
     result, new_checkpoint = campaign.run_chunk(
         spec.max_evaluations, spec.time_limit_seconds,
         checkpoint=checkpoint, pause_after=pause_after)
@@ -275,6 +281,13 @@ class ChunkTask:
     spec: CampaignSpec
     checkpoint: CampaignCheckpoint | ChunkPayload | None = None
     pause_after: int | None = None
+    #: Sweep-wide verdict-cache shipment (a pickled
+    #: :class:`~repro.consistency.memo.VerdictCacheState`), stamped at
+    #: dispatch like ``pause_after``.  Presence is what switches
+    #: memoization on worker-side — an empty-but-present state means
+    #: "memoize, nothing known yet".  Pre-serialized for the same reason
+    #: as :class:`ChunkPayload`: the bytes ride every hop verbatim.
+    cache: bytes | None = None
 
 
 @dataclass(frozen=True)
@@ -327,6 +340,9 @@ class ChunkOutcome:
     error: str | None = None
     telemetry: ChunkTelemetry | None = None
     payload: ChunkPayload | None = None
+    #: Verdict-cache entries this chunk discovered plus its hit/miss
+    #: counters — the scheduler folds these into the sweep-wide cache.
+    cache_delta: VerdictCacheDelta | None = None
 
     def resume_state(self) -> "CampaignCheckpoint | ChunkPayload | None":
         """Whatever a continuation task should resume from (bytes win)."""
@@ -334,9 +350,11 @@ class ChunkOutcome:
 
 
 def _run_chunk_instrumented(
-        task: ChunkTask, serialize_checkpoint: bool = True
+        task: ChunkTask, serialize_checkpoint: bool = True,
+        verdict_cache: VerdictCache | None = None
 ) -> tuple[ShardResult | None, "CampaignCheckpoint | None",
-           "ChunkPayload | None", ChunkTelemetry]:
+           "ChunkPayload | None", ChunkTelemetry,
+           "VerdictCacheDelta | None"]:
     """Run one chunk and measure what it cost (exceptions propagate).
 
     The measured evaluation count is the chunk's *delta* (resumed
@@ -359,10 +377,14 @@ def _run_chunk_instrumented(
     if isinstance(resume_from, ChunkPayload):
         resume_from = resume_from.load()
     already_done = resume_from.evaluations if resume_from is not None else 0
+    cache_mark = verdict_cache.mark() if verdict_cache is not None else None
     started = time.perf_counter()
     shard, checkpoint = run_shard_chunk(task.spec, resume_from,
-                                        task.pause_after)
+                                        task.pause_after,
+                                        verdict_cache=verdict_cache)
     wall_seconds = time.perf_counter() - started
+    cache_delta = (verdict_cache.delta(cache_mark)
+                   if verdict_cache is not None else None)
     payload = None
     checkpoint_bytes = 0
     checkpoint_seconds = 0.0
@@ -378,10 +400,30 @@ def _run_chunk_instrumented(
     return shard, checkpoint, payload, ChunkTelemetry(
         evaluations=evaluations, wall_seconds=wall_seconds,
         checkpoint_bytes=checkpoint_bytes,
-        checkpoint_seconds=checkpoint_seconds)
+        checkpoint_seconds=checkpoint_seconds), cache_delta
 
 
-def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
+def merge_shipped_cache(data: bytes,
+                        cache: VerdictCache | None) -> VerdictCache:
+    """Fold a task's pickled cache shipment into a worker's persistent cache.
+
+    Creates the cache on first use (configured from the shipment's
+    capacity/keying) and merges the shipped entries in — idempotently, so
+    re-deliveries and overlapping shipments are harmless.  Both worker
+    loops (multiprocessing and TCP) call this once per cache-bearing task,
+    which is how a worker's cache keeps accruing the sweep-wide entries
+    the scheduler learned from *other* workers.
+    """
+    state: VerdictCacheState = pickle.loads(data)
+    if cache is None:
+        cache = VerdictCache(capacity=state.capacity, keying=state.keying)
+    cache.merge(state)
+    return cache
+
+
+def execute_chunk_task(task: ChunkTask,
+                       verdict_cache: VerdictCache | None = None
+                       ) -> ChunkOutcome:
     """Run one :class:`ChunkTask` in the current process (worker side).
 
     Shared by every transport: the multiprocessing worker loop and the TCP
@@ -391,9 +433,19 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
     (also the source of the telemetry's checkpoint cost); failures are
     stringified so they cross process/host boundaries without needing the
     exception itself to be picklable.
+
+    *verdict_cache* is the worker's persistent cache (seeded from
+    ``task.cache`` via :func:`merge_shipped_cache` by the worker loops);
+    callers holding no persistent cache may pass ``None`` even for a
+    cache-bearing task, in which case the shipment is adopted for just
+    this chunk.
     """
+    cache = verdict_cache
+    if cache is None and task.cache is not None:
+        cache = merge_shipped_cache(task.cache, None)
     try:
-        shard, checkpoint, payload, telemetry = _run_chunk_instrumented(task)
+        shard, checkpoint, payload, telemetry, cache_delta = (
+            _run_chunk_instrumented(task, verdict_cache=cache))
     except Exception as error:
         return ChunkOutcome(index=task.index,
                             error=f"{type(error).__name__}: {error}")
@@ -401,7 +453,8 @@ def execute_chunk_task(task: ChunkTask) -> ChunkOutcome:
     # outcome too would hand the transport an object graph to re-pickle.
     return ChunkOutcome(index=task.index, shard=shard,
                         checkpoint=None if payload is not None else checkpoint,
-                        payload=payload, telemetry=telemetry)
+                        payload=payload, telemetry=telemetry,
+                        cache_delta=cache_delta)
 
 
 # ----------------------------------------------------------------------
@@ -642,15 +695,18 @@ def _telemetry_view(controller: ChunkSizeController,
                     total_evaluations: int,
                     total_seconds: float,
                     checkpoint_bytes: int = 0,
-                    bytes_saved: int = 0) -> dict[str, object]:
+                    bytes_saved: int = 0,
+                    verdict_cache: dict | None = None) -> dict[str, object]:
     """The ``telemetry_out`` shape every execution path publishes.
 
     Single point of truth for the live-telemetry mapping consumed by
     :func:`repro.harness.reporting.format_telemetry`: per-cell controller
-    state under ``"kinds"``, the sweep-wide aggregate rate, and — when
-    checkpoints actually crossed a transport — the serialized checkpoint
-    bytes plus the re-pickle bytes the payload path saved, so the serial,
-    pooled and TCP paths can never drift apart.
+    state under ``"kinds"``, the sweep-wide aggregate rate, when
+    checkpoints actually crossed a transport the serialized checkpoint
+    bytes plus the re-pickle bytes the payload path saved, and — with
+    memoization on — the sweep-wide verdict-cache view under
+    ``"verdict_cache"``, so the serial, pooled and TCP paths can never
+    drift apart.
     """
     view: dict[str, object] = {"kinds": controller.snapshot()}
     if total_seconds > 0.0:
@@ -658,7 +714,25 @@ def _telemetry_view(controller: ChunkSizeController,
     if checkpoint_bytes or bytes_saved:
         view["checkpoint"] = {"bytes": checkpoint_bytes,
                               "saved_bytes": bytes_saved}
+    if verdict_cache is not None:
+        view["verdict_cache"] = verdict_cache
     return view
+
+
+def _cache_counters_view(entries: int, hits: int, misses: int,
+                         failed_refreshes: int, evictions: int,
+                         seconds_saved: float) -> dict[str, object]:
+    """The ``"verdict_cache"`` telemetry mapping, from raw counters."""
+    lookups = hits + misses + failed_refreshes
+    return {
+        "entries": entries,
+        "hits": hits,
+        "misses": misses,
+        "failed_refreshes": failed_refreshes,
+        "evictions": evictions,
+        "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        "seconds_saved": round(seconds_saved, 6),
+    }
 
 
 class ChunkScheduler:
@@ -700,13 +774,36 @@ class ChunkScheduler:
 
     def __init__(self, specs: list[CampaignSpec],
                  chunk_evaluations: int | None = None,
-                 controller: ChunkSizeController | None = None) -> None:
+                 controller: ChunkSizeController | None = None,
+                 verdict_memo: bool = False,
+                 memo_capacity: int = DEFAULT_CACHE_CAPACITY,
+                 max_cache_bytes: int | None = None) -> None:
         if controller is None:
             controller = ChunkSizeController(
                 mode=CHUNK_SIZING_FIXED, chunk_evaluations=chunk_evaluations)
         self.specs = specs
         self.chunk_evaluations = chunk_evaluations
         self.controller = controller
+        #: Sweep-wide verdict cache (collective checking): outcomes'
+        #: deltas fold in via :meth:`record`, and :meth:`next_task` stamps
+        #: the current state onto every dispatched task so each worker
+        #: benefits from what every other worker already checked.
+        self.verdict_cache = (VerdictCache(capacity=memo_capacity)
+                              if verdict_memo else None)
+        #: Byte budget for one pickled cache shipment (``None``: uncapped;
+        #: the TCP coordinator sets a fraction of ``max_frame_bytes``).
+        #: Over-budget shipments drop oldest entries until they fit —
+        #: a trimmed shipment only costs re-checks on the worker.
+        self.max_cache_bytes = max_cache_bytes
+        self._cache_shipment: bytes | None = None
+        self._cache_shipment_inserts = -1
+        # Sweep-wide counter aggregation over every recorded delta (the
+        # scheduler-side cache object never performs lookups itself).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_failed_refreshes = 0
+        self.cache_evictions = 0
+        self.cache_seconds_saved = 0.0
         self._queue: deque[ChunkTask] = deque(
             ChunkTask(index=index, spec=spec, checkpoint=None,
                       pause_after=chunk_evaluations)
@@ -772,8 +869,35 @@ class ChunkScheduler:
             pause_after = self.controller.chunk_for(sizing_key(task.spec))
             if pause_after != task.pause_after:
                 task = replace(task, pause_after=pause_after)
+            if self.verdict_cache is not None:
+                # Piggyback the sweep-wide cache like the sizing EWMAs:
+                # stamped at dispatch with the *current* state, pickled
+                # lazily (re-serialized only after new entries arrived).
+                task = replace(task, cache=self._shipment_bytes())
             return task
         return None
+
+    def _shipment_bytes(self) -> bytes:
+        """The pickled sweep-cache state to stamp on a dispatch.
+
+        Cached between dispatches and rebuilt only when the cache gained
+        entries; trimmed (oldest entries first) until it fits
+        ``max_cache_bytes``.
+        """
+        cache = self.verdict_cache
+        if (self._cache_shipment is None
+                or self._cache_shipment_inserts != cache.inserts):
+            state = cache.snapshot()
+            data = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            while (self.max_cache_bytes is not None
+                   and len(data) > self.max_cache_bytes and state.entries):
+                state = replace(state,
+                                entries=state.entries[len(state.entries) // 2
+                                                      + 1:])
+                data = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+            self._cache_shipment = data
+            self._cache_shipment_inserts = cache.inserts
+        return self._cache_shipment
 
     def requeue(self, task: ChunkTask) -> None:
         """Put back a task whose worker died or stalled while holding it.
@@ -819,6 +943,17 @@ class ChunkScheduler:
             # (the dispatch hop is credited when/if the continuation is
             # actually handed out).
             self.total_payload_bytes_saved += outcome.payload.nbytes
+        if outcome.cache_delta is not None and self.verdict_cache is not None:
+            # Folded before the dedup checks, like the telemetry: entry
+            # merges are idempotent and the counters are telemetry-only,
+            # so even a stale replay's delta is safe to absorb.
+            delta = outcome.cache_delta
+            self.verdict_cache.merge(delta)
+            self.cache_hits += delta.hits
+            self.cache_misses += delta.misses
+            self.cache_failed_refreshes += delta.failed_refreshes
+            self.cache_evictions += delta.evictions
+            self.cache_seconds_saved += delta.seconds_saved
         if outcome.index in self._completed:
             return None
         if outcome.shard is None:
@@ -848,12 +983,26 @@ class ChunkScheduler:
         :meth:`ChunkSizeController.snapshot`); ``"evals_per_second"`` is
         the sweep-wide aggregate rate over every recorded chunk;
         ``"checkpoint"`` aggregates serialized checkpoint bytes and the
-        transport bytes the single-serialization payload path saved.
+        transport bytes the single-serialization payload path saved;
+        ``"verdict_cache"`` (memoized sweeps) aggregates hit/miss
+        counters and checker-seconds saved across every worker's deltas.
         """
         return _telemetry_view(self.controller, self.total_chunk_evaluations,
                                self.total_chunk_seconds,
                                checkpoint_bytes=self.total_checkpoint_bytes,
-                               bytes_saved=self.total_payload_bytes_saved)
+                               bytes_saved=self.total_payload_bytes_saved,
+                               verdict_cache=self.cache_telemetry())
+
+    def cache_telemetry(self) -> dict[str, object] | None:
+        """Sweep-wide verdict-cache counters (``None`` when memo is off)."""
+        if self.verdict_cache is None:
+            return None
+        return _cache_counters_view(
+            entries=len(self.verdict_cache), hits=self.cache_hits,
+            misses=self.cache_misses,
+            failed_refreshes=self.cache_failed_refreshes,
+            evictions=self.cache_evictions,
+            seconds_saved=self.cache_seconds_saved)
 
 
 # ----------------------------------------------------------------------
@@ -995,6 +1144,11 @@ class SweepReport:
     workers: int
     wall_seconds: float
     coverage: CoverageCollector
+    #: Sweep-wide verdict-cache telemetry (hit/miss counters, hit-rate,
+    #: checker-seconds saved) when memoization was on; ``None`` otherwise.
+    #: Telemetry-only, like the timing fields: excluded from the
+    #: determinism contract.
+    verdict_cache: dict | None = None
 
     @property
     def results(self) -> list[CampaignResult]:
@@ -1102,18 +1256,30 @@ def _worker_loop(task_queue, result_queue) -> None:
     not a hung queue.  KeyboardInterrupt / SystemExit deliberately
     propagate: on Ctrl-C the worker must exit promptly, not keep draining
     the queue.
+
+    On memoized sweeps the worker keeps one persistent
+    :class:`~repro.consistency.memo.VerdictCache` across all the tasks it
+    runs, folding each task's sweep-wide shipment in — so it hits both on
+    its own history and on what other workers discovered.
     """
+    verdict_cache: VerdictCache | None = None
     while True:
         task = task_queue.get()
         if task is None:
             return
-        result_queue.put(execute_chunk_task(task))
+        if task.cache is not None:
+            verdict_cache = merge_shipped_cache(task.cache, verdict_cache)
+            result_queue.put(
+                execute_chunk_task(task, verdict_cache=verdict_cache))
+        else:
+            result_queue.put(execute_chunk_task(task))
 
 
 def _iter_serial(specs: list[CampaignSpec],
                  chunk_evaluations: int | None,
                  controller: ChunkSizeController | None = None,
-                 telemetry_out: dict | None = None
+                 telemetry_out: dict | None = None,
+                 verdict_memo: bool = False
                  ) -> Iterator[tuple[int, ShardResult]]:
     """In-process execution in matrix order (the workers=1 fallback).
 
@@ -1122,9 +1288,13 @@ def _iter_serial(specs: list[CampaignSpec],
     paths are exercised — and therefore debuggable — without any
     multiprocessing.  Exceptions propagate directly, with their original
     type, because no process boundary forces them to be stringified.
+    With ``verdict_memo`` one in-process sweep-wide
+    :class:`~repro.consistency.memo.VerdictCache` is shared by every
+    shard directly — no shipments, no deltas to fold.
     """
     if controller is None:
         controller = ChunkSizeController(chunk_evaluations=chunk_evaluations)
+    verdict_cache = VerdictCache() if verdict_memo else None
     # No transport will serialize the checkpoint in-process, so there is
     # normally no real serialization cost to measure — except under a
     # byte budget, whose feedback loop *is* the measured payload size.
@@ -1138,14 +1308,17 @@ def _iter_serial(specs: list[CampaignSpec],
             task = ChunkTask(index=index, spec=spec, checkpoint=checkpoint,
                              pause_after=controller.chunk_for(
                                  sizing_key(spec)))
-            shard, checkpoint, _, telemetry = _run_chunk_instrumented(
-                task, serialize_checkpoint=serialize)
+            shard, checkpoint, _, telemetry, _ = _run_chunk_instrumented(
+                task, serialize_checkpoint=serialize,
+                verdict_cache=verdict_cache)
             controller.observe(sizing_key(spec), telemetry)
             total_evaluations += telemetry.evaluations
             total_seconds += telemetry.wall_seconds
             if telemetry_out is not None:
                 telemetry_out.update(_telemetry_view(
-                    controller, total_evaluations, total_seconds))
+                    controller, total_evaluations, total_seconds,
+                    verdict_cache=(verdict_cache.stats()
+                                   if verdict_cache is not None else None)))
             if shard is not None:
                 yield index, shard
                 break
@@ -1174,7 +1347,8 @@ def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
                         mp_context: str | None,
                         chunk_evaluations: int | None,
                         controller: ChunkSizeController | None = None,
-                        telemetry_out: dict | None = None
+                        telemetry_out: dict | None = None,
+                        verdict_memo: bool = False
                         ) -> Iterator[tuple[int, ShardResult]]:
     """Pull-based scheduling: a shared queue workers drain as they finish.
 
@@ -1186,7 +1360,8 @@ def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
     context = multiprocessing.get_context(mp_context)
     processes = min(workers, len(specs))
     scheduler = ChunkScheduler(specs, chunk_evaluations,
-                               controller=controller)
+                               controller=controller,
+                               verdict_memo=verdict_memo)
     task_queue = context.Queue()
     result_queue = context.Queue()
     pool = [context.Process(target=_worker_loop,
@@ -1241,6 +1416,7 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
                    chunk_sizing: str = CHUNK_SIZING_FIXED,
                    target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
                    max_checkpoint_bytes: int | None = None,
+                   verdict_memo: bool = False,
                    transport: str = TRANSPORT_LOCAL,
                    coordinator: object = None,
                    lease_timeout: float = 30.0,
@@ -1268,6 +1444,16 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
     checkpoint fundamentally exceeds ``max_frame_bytes`` still aborts via
     the frame-cap backstop (raise ``max_frame_bytes`` or lower the
     evaluation budget).
+
+    ``verdict_memo=True`` turns on collective checking: checker verdicts
+    are memoized by canonical execution signature in a sweep-wide
+    :class:`~repro.consistency.memo.VerdictCache` (shared in-process on
+    the serial path; folded from per-chunk deltas and re-shipped on
+    dispatch on the pooled and tcp paths).  Results are bit-for-bit
+    identical with the cache on or off — only checker time and the
+    cache-telemetry counters change.  Requires the work-stealing
+    scheduler (the static partition's workers never report back until
+    the barrier, so there is nothing to fold).
     ``telemetry_out`` (any mutable mapping) is updated in place with live
     telemetry — per-cell throughput, current chunk sizes and checkpoint
     bytes moved/saved, plus per-host rates on the tcp transport — for
@@ -1313,6 +1499,11 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
         raise ValueError("chunk_evaluations requires the work-stealing "
                          "scheduler; the static partition runs shards "
                          "monolithically")
+    if verdict_memo and scheduler == STATIC:
+        raise ValueError("verdict_memo requires the work-stealing "
+                         "scheduler; the static partition's workers "
+                         "never report back until the barrier, so "
+                         "cache deltas cannot fold")
     if scheduler == WORK_STEALING and chunksize is not None:
         raise ValueError("chunksize configures the static scheduler's "
                          "partition; the work-stealing queue hands out "
@@ -1339,6 +1530,7 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
                                 chunk_sizing=chunk_sizing,
                                 target_chunk_seconds=target_chunk_seconds,
                                 max_checkpoint_bytes=max_checkpoint_bytes,
+                                verdict_memo=verdict_memo,
                                 lease_timeout=lease_timeout,
                                 max_frame_bytes=(max_frame_bytes
                                                  if max_frame_bytes is not None
@@ -1358,12 +1550,14 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
                                      max_checkpoint_bytes=max_checkpoint_bytes)
     if workers == 1 or len(specs) <= 1:
         return _iter_serial(specs, chunk_evaluations, controller=controller,
-                            telemetry_out=telemetry_out)
+                            telemetry_out=telemetry_out,
+                            verdict_memo=verdict_memo)
     if scheduler == STATIC:
         return _iter_static(specs, workers, mp_context, chunksize)
     return _iter_work_stealing(specs, workers, mp_context,
                                chunk_evaluations, controller=controller,
-                               telemetry_out=telemetry_out)
+                               telemetry_out=telemetry_out,
+                               verdict_memo=verdict_memo)
 
 
 class SweepAccumulator:
@@ -1426,6 +1620,7 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                   chunk_sizing: str = CHUNK_SIZING_FIXED,
                   target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
                   max_checkpoint_bytes: int | None = None,
+                  verdict_memo: bool = False,
                   transport: str = TRANSPORT_LOCAL,
                   coordinator: object = None,
                   lease_timeout: float = 30.0,
@@ -1449,7 +1644,11 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
     serves the chunk queue to TCP workers instead of a local pool (see
     :func:`iter_campaigns` and :mod:`repro.harness.distributed`), with
     frames capped at ``max_frame_bytes``; per-shard results are
-    bit-identical either way.
+    bit-identical either way.  ``verdict_memo=True`` memoizes checker
+    verdicts sweep-wide by canonical execution signature (collective
+    checking; see :func:`iter_campaigns`) — results never change, the
+    report's ``verdict_cache`` field records the hit-rate and
+    checker-seconds saved.
 
     ``on_result`` is invoked on the host with each :class:`ShardResult` in
     completion order, while other shards are still running; ``progress=True``
@@ -1465,7 +1664,8 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
     hosts: dict[str, int] | None = (
         {} if transport == TRANSPORT_TCP and progress else None)
     telemetry: dict | None = (
-        {} if progress and chunk_evaluations is not None else None)
+        {} if (progress and chunk_evaluations is not None) or verdict_memo
+        else None)
     if progress:
         from repro.harness.reporting import ProgressPrinter
 
@@ -1477,6 +1677,7 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                                        chunk_sizing=chunk_sizing,
                                        target_chunk_seconds=target_chunk_seconds,
                                        max_checkpoint_bytes=max_checkpoint_bytes,
+                                       verdict_memo=verdict_memo,
                                        chunksize=chunksize,
                                        transport=transport,
                                        coordinator=coordinator,
@@ -1494,4 +1695,7 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                            hosts=hosts, telemetry=telemetry)
     if printer is not None:
         printer.finish()
-    return accumulator.finalize(time.perf_counter() - started)
+    report = accumulator.finalize(time.perf_counter() - started)
+    if telemetry is not None and "verdict_cache" in telemetry:
+        report.verdict_cache = dict(telemetry["verdict_cache"])
+    return report

@@ -91,8 +91,10 @@ def format_telemetry(telemetry: dict) -> str:
     sizing-cell label to its throughput EWMA and current chunk size, an
     optional ``"checkpoint"`` aggregate (serialized checkpoint bytes
     moved and the transport bytes the single-serialization payload path
-    saved), and — on the tcp transport — a ``"hosts"`` mapping of worker
-    name to measured evaluations/second.  Snapshot-copied before
+    saved), an optional ``"verdict_cache"`` aggregate (collective-checking
+    hit/miss counters and the checker seconds memoization saved), and —
+    on the tcp transport — a ``"hosts"`` mapping of worker name to
+    measured evaluations/second.  Snapshot-copied before
     iterating, since coordinator handler threads may update it
     concurrently.
     """
@@ -112,6 +114,13 @@ def format_telemetry(telemetry: dict) -> str:
         saved = checkpoint.get("saved_bytes", 0)
         if saved:
             parts.append(f"saved={format_bytes(saved)}")
+    cache = telemetry.get("verdict_cache")
+    if cache:
+        cache = dict(cache)
+        parts.append(f"memo={cache.get('hit_rate', 0.0):.0%}")
+        saved_seconds = cache.get("seconds_saved", 0.0)
+        if saved_seconds:
+            parts.append(f"check_saved={saved_seconds:.1f}s")
     hosts = telemetry.get("hosts") or {}
     for host, host_rate in sorted(dict(hosts).items()):
         parts.append(f"{host}={host_rate:g}/s")

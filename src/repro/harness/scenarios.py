@@ -290,6 +290,7 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                        coordinator: object = None,
                        lease_timeout: float = 30.0,
                        max_frame_bytes: int | None = None,
+                       verdict_memo: bool = False,
                        on_result=None,
                        progress: bool = False) -> "SweepReport":
     """Run the directed scenarios through the parallel orchestrator.
@@ -300,7 +301,9 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
     chunks from per-chunk telemetry (targeting ``target_chunk_seconds``
     of worker time each), ``max_checkpoint_bytes`` byte-budgets resume
     checkpoints, and ``transport="tcp"`` shards the scenarios across TCP
-    workers (see :mod:`repro.harness.distributed`).
+    workers (see :mod:`repro.harness.distributed`).  ``verdict_memo=True``
+    memoizes checker verdicts sweep-wide by canonical execution signature
+    (collective checking) without changing any verdict.
     """
     from repro.harness.parallel import run_campaigns
 
@@ -316,6 +319,7 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                          transport=transport, coordinator=coordinator,
                          lease_timeout=lease_timeout,
                          max_frame_bytes=max_frame_bytes,
+                         verdict_memo=verdict_memo,
                          on_result=on_result, progress=progress)
 
 

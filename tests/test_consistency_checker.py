@@ -91,6 +91,20 @@ class TestExecutionBuilding:
         with pytest.raises(ExecutionBuildError):
             execution_from_trace(mp_program(), trace)
 
+    def test_corruption_result_preserves_the_trace(self):
+        """Regression: the corruption CheckResult kept no context at all.
+
+        When no execution can be built the raw observed trace is the only
+        diagnosable artifact, so ``check_trace`` must attach it.
+        """
+        from repro.consistency.checker import Checker
+        trace = mp_trace(99, 0)
+        result = Checker(TotalStoreOrder()).check_trace(mp_program(), trace)
+        assert not result.passed
+        assert result.violations[0].kind == "corruption"
+        assert result.execution is None
+        assert result.trace is trace
+
     def test_conflict_edges_for_ndt(self):
         execution = execution_from_trace(mp_program(), mp_trace(2, 1))
         edges = execution.conflict_edges()
@@ -168,6 +182,28 @@ class TestTsoVerdicts:
         trace.record_rmw(0, 0, X, 0, 1, 0)
         trace.record_write(1, 1, X, 2, 1)
         assert self.checker.check_trace(program, trace).passed
+
+    def test_rmw_atomicity_violation_when_write_precedes_source(self):
+        """Regression: the RMW pair going *backwards* in co must fail.
+
+        The RMW reads the other thread's write (value 2) but its own
+        write sits earlier in the coherence chain (init -> 1 -> 2), so
+        the pair is inverted.  The old gap-slice check computed an empty
+        slice for a reversed pair and silently passed this trace.
+        """
+        program = [
+            TestThread(0, (TestOp(0, OpKind.RMW, X, 1),)),
+            TestThread(1, (TestOp(1, OpKind.WRITE, X, 2),)),
+        ]
+        trace = ExecutionTrace()
+        trace.record_rmw(0, 0, X, 2, 1, 0)   # read 2, wrote 1 over init
+        trace.record_write(1, 1, X, 2, 1)    # wrote 2 over the RMW's 1
+        result = self.checker.check_trace(program, trace)
+        assert not result.passed
+        assert any(violation.kind == "atomicity"
+                   for violation in result.violations)
+        assert any("coherence-ordered before" in violation.description
+                   for violation in result.violations)
 
     def test_store_load_forwarding_allowed(self):
         """A thread may read its own buffered store before it is visible."""

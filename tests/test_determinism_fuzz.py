@@ -24,6 +24,11 @@ pre-serialized ``ChunkPayload`` bytes) — still bit-identical.
 This is the determinism contract that makes cross-host sharding safe: a
 chunk may be re-queued, re-run or migrated anywhere without changing any
 reported result.
+
+The ``*-memo`` modes additionally switch on collective checking
+(``verdict_memo=True``): sweep-wide memoized verdicts keyed by canonical
+execution signature must be bit-for-bit invisible — cache-on results
+equal cache-off results in every mode, serial through loopback-TCP.
 """
 
 import random
@@ -121,6 +126,17 @@ def test_all_schedulers_match_serial(fuzz_seed):
             workers=workers, chunk_evaluations=chunk_evaluations,
             chunk_sizing="adaptive", target_chunk_seconds=0.02,
             max_checkpoint_bytes=4096),
+        # Collective checking: memoized verdicts must be bit-for-bit
+        # invisible in every reported result — only the telemetry moves.
+        "serial-memo": dict(workers=1, chunk_evaluations=chunk_evaluations,
+                            verdict_memo=True),
+        "work-stealing-memo": dict(workers=workers,
+                                   chunk_evaluations=chunk_evaluations,
+                                   verdict_memo=True),
+        "work-stealing-adaptive-memo": dict(
+            workers=workers, chunk_evaluations=chunk_evaluations,
+            chunk_sizing="adaptive", target_chunk_seconds=0.02,
+            verdict_memo=True),
     }
     if fuzz_seed == 0:
         # Loopback-TCP coordinator with real worker subprocesses: the
@@ -136,6 +152,9 @@ def test_all_schedulers_match_serial(fuzz_seed):
             chunk_evaluations=chunk_evaluations,
             chunk_sizing="adaptive", target_chunk_seconds=0.02,
             max_checkpoint_bytes=4096)
+        modes["loopback-tcp-memo"] = dict(
+            workers=2, transport="tcp",
+            chunk_evaluations=chunk_evaluations, verdict_memo=True)
     for mode, options in modes.items():
         report = run_campaigns(specs, **options)
         assert outcome_view(report) == reference_outcomes, (

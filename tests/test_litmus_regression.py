@@ -14,7 +14,9 @@ from pathlib import Path
 
 import pytest
 
+from repro.consistency.models import model_by_name
 from repro.consistency.operational import all_read_outcomes
+from repro.consistency.signature import execution_signature
 from repro.litmus.corpus import corpus_names, litmus_by_name, x86_tso_corpus
 from repro.litmus.witness import (check_witness, cycle_verdict,
                                   cycle_witness_execution)
@@ -30,9 +32,12 @@ class TestGoldenData:
 
     def test_golden_verdicts_are_well_formed(self):
         for name, verdicts in GOLDEN.items():
-            assert set(verdicts) == {"SC", "TSO"}, name
-            assert all(value in ("allowed", "forbidden")
-                       for value in verdicts.values()), name
+            assert set(verdicts) == {"SC", "TSO", "signatures"}, name
+            assert all(verdicts[model] in ("allowed", "forbidden")
+                       for model in ("SC", "TSO")), name
+            assert set(verdicts["signatures"]) == {"SC", "TSO"}, name
+            assert all(len(digest) == 64
+                       for digest in verdicts["signatures"].values()), name
 
     def test_golden_agrees_with_generator_flags(self):
         # The checked-in data and the diy generator's verdict flags are
@@ -53,6 +58,22 @@ class TestGoldenData:
 def test_checker_verdict_matches_golden(name, model):
     test = litmus_by_name(name)
     assert cycle_verdict(test, model) == GOLDEN[name][model]
+
+
+@pytest.mark.parametrize("name", corpus_names())
+@pytest.mark.parametrize("model", ["SC", "TSO"])
+def test_witness_signature_matches_golden(name, model):
+    """Canonical signatures of the witness executions are pinned.
+
+    These digests are the collective-checking cache keys: a drift here
+    means either the canonicalization changed (fine — regenerate the
+    golden data, every cache key changes together) or it became
+    unstable across processes/hash seeds (a real bug: sweep-wide cache
+    shipments would silently stop hitting).
+    """
+    execution = cycle_witness_execution(litmus_by_name(name))
+    digest = execution_signature(execution, model_by_name(model)).digest
+    assert digest == GOLDEN[name]["signatures"][model]
 
 
 class TestWitnessConstruction:

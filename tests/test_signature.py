@@ -1,0 +1,147 @@
+"""Canonical execution signatures: renaming invariance and distinctness.
+
+Collective checking is only sound if the signature is a *canonical* form:
+two traces of the same behaviour must fingerprint identically however
+threads, operation ids or addresses happen to be numbered, while any
+structural difference (a different reads-from outcome, a different
+coherence order, a different memory model) must change the fingerprint.
+"""
+
+from repro.consistency.execution import execution_from_trace
+from repro.consistency.models import SequentialConsistency, TotalStoreOrder
+from repro.consistency.signature import (ExecutionSignature, canonical_form,
+                                         execution_signature)
+from repro.sim.testprogram import OpKind, TestOp, TestThread
+from repro.sim.trace import ExecutionTrace
+
+X = 0x1000
+Y = 0x2000
+TSO = TotalStoreOrder()
+SC = SequentialConsistency()
+
+
+def mp_execution(r1: int, r2: int, *, pids=(0, 1), op_ids=(0, 1, 2, 3),
+                 addresses=(X, Y), record_order="program"):
+    """The MP litmus shape with every nominal choice parameterised.
+
+    ``pids``/``op_ids``/``addresses`` rename the threads, operations and
+    locations; ``record_order="reversed"`` records the trace back to
+    front.  None of these may change the canonical signature.
+    """
+    writer, reader = pids
+    w_x, w_y, r_y, r_x = op_ids
+    x, y = addresses
+    threads = sorted([
+        TestThread(writer, (TestOp(w_x, OpKind.WRITE, x, 1),
+                            TestOp(w_y, OpKind.WRITE, y, 2))),
+        TestThread(reader, (TestOp(r_y, OpKind.READ, y),
+                            TestOp(r_x, OpKind.READ, x))),
+    ], key=lambda thread: thread.pid)
+    records = [
+        lambda t: t.record_write(w_x, writer, x, 1, 0),
+        lambda t: t.record_write(w_y, writer, y, 2, 0),
+        lambda t: t.record_read(r_y, reader, y, r1),
+        lambda t: t.record_read(r_x, reader, x, r2),
+    ]
+    if record_order == "reversed":
+        records.reverse()
+    trace = ExecutionTrace()
+    for record in records:
+        record(trace)
+    return execution_from_trace(threads, trace)
+
+
+class TestRenamingInvariance:
+    def test_stable_across_recomputation(self):
+        execution = mp_execution(2, 1)
+        assert (execution_signature(execution, TSO).digest ==
+                execution_signature(execution, TSO).digest)
+
+    def test_thread_renaming_invariant(self):
+        base = execution_signature(mp_execution(2, 1), TSO)
+        swapped = execution_signature(mp_execution(2, 1, pids=(5, 3)), TSO)
+        assert base.digest == swapped.digest
+
+    def test_op_id_renumbering_invariant(self):
+        base = execution_signature(mp_execution(2, 1), TSO)
+        renumbered = execution_signature(
+            mp_execution(2, 1, op_ids=(40, 17, 9, 23)), TSO)
+        assert base.digest == renumbered.digest
+
+    def test_address_relabel_invariant(self):
+        base = execution_signature(mp_execution(2, 1), TSO)
+        relabelled = execution_signature(
+            mp_execution(2, 1, addresses=(0x9000, 0x400)), TSO)
+        assert base.digest == relabelled.digest
+
+    def test_trace_record_order_invariant(self):
+        base = execution_signature(mp_execution(2, 1), TSO)
+        reversed_records = execution_signature(
+            mp_execution(2, 1, record_order="reversed"), TSO)
+        assert base.digest == reversed_records.digest
+
+    def test_everything_renamed_at_once(self):
+        base = execution_signature(mp_execution(0, 0), TSO)
+        renamed = execution_signature(
+            mp_execution(0, 0, pids=(7, 2), op_ids=(11, 5, 30, 1),
+                         addresses=(0x40, 0x80), record_order="reversed"),
+            TSO)
+        assert base.digest == renamed.digest
+
+
+class TestDistinctness:
+    def test_different_rf_outcomes_differ(self):
+        outcomes = {execution_signature(mp_execution(r1, r2), TSO).digest
+                    for r1, r2 in [(0, 0), (0, 1), (2, 0), (2, 1)]}
+        assert len(outcomes) == 4
+
+    def test_model_is_part_of_the_key(self):
+        execution = mp_execution(2, 0)
+        assert (execution_signature(execution, TSO).digest !=
+                execution_signature(execution, SC).digest)
+
+    def test_different_shapes_differ(self):
+        # SB swaps the reader's role onto both threads: structurally a
+        # different execution graph, so a different digest.
+        threads = [
+            TestThread(0, (TestOp(0, OpKind.WRITE, X, 1),
+                           TestOp(1, OpKind.READ, Y))),
+            TestThread(1, (TestOp(2, OpKind.WRITE, Y, 2),
+                           TestOp(3, OpKind.READ, X))),
+        ]
+        trace = ExecutionTrace()
+        trace.record_write(0, 0, X, 1, 0)
+        trace.record_read(1, 0, Y, 0)
+        trace.record_write(2, 1, Y, 2, 0)
+        trace.record_read(3, 1, X, 0)
+        sb = execution_from_trace(threads, trace)
+        assert (execution_signature(sb, TSO).digest !=
+                execution_signature(mp_execution(0, 0), TSO).digest)
+
+
+class TestKeyingModes:
+    def test_digest_mode_key_is_the_digest(self):
+        signature = execution_signature(mp_execution(2, 1), TSO)
+        assert signature.form is None
+        assert signature.key == signature.digest
+        assert isinstance(signature.key, str) and len(signature.key) == 64
+
+    def test_canonical_mode_keeps_the_full_form(self):
+        signature = execution_signature(mp_execution(2, 1), TSO,
+                                        keep_form=True)
+        assert signature.form is not None
+        assert signature.key == signature.form
+        assert isinstance(signature, ExecutionSignature)
+
+    def test_both_modes_agree_on_equality(self):
+        a, b = mp_execution(2, 1), mp_execution(2, 1, pids=(9, 4))
+        digest_equal = (execution_signature(a, TSO).key ==
+                        execution_signature(b, TSO).key)
+        form_equal = (execution_signature(a, TSO, keep_form=True).key ==
+                      execution_signature(b, TSO, keep_form=True).key)
+        assert digest_equal and form_equal
+
+    def test_canonical_form_is_deterministic_data(self):
+        form = canonical_form(mp_execution(2, 1), TSO)
+        assert form == canonical_form(mp_execution(2, 1), TSO)
+        assert form[0] == TSO.name
