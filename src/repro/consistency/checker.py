@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
 
 from repro.consistency.execution import (CandidateExecution, ExecutionBuildError,
                                          execution_from_trace)
@@ -38,6 +39,13 @@ from repro.consistency.relations import Relation
 from repro.consistency.signature import execution_signature
 from repro.sim.testprogram import TestThread
 from repro.sim.trace import ExecutionTrace
+
+#: Backend selector values accepted by :class:`Checker` (and threaded
+#: through the harness as ``checker_backend=...``).
+BACKEND_AUTO = "auto"
+BACKEND_PYTHON = "python"
+BACKEND_MATRIX = "matrix"
+BACKENDS = (BACKEND_AUTO, BACKEND_PYTHON, BACKEND_MATRIX)
 
 
 @dataclass(frozen=True)
@@ -58,24 +66,174 @@ class CheckResult:
 
     ``trace`` is only populated on the corruption path, where no
     ``CandidateExecution`` could be built — it preserves the partial
-    context (the raw observed trace) for diagnosis.
+    context (the raw observed trace) for diagnosis.  ``backend`` names
+    the checker backend that produced the verdict (``"python"`` or
+    ``"matrix"``); backends are verdict-equivalent, so it is telemetry,
+    never semantics.
+
+    .. deprecated::
+        Reaching into ``result.violations[i]`` positionally (tuple
+        unpacking the violation fields, or indexing ``.args``) is
+        deprecated; use :meth:`violations_summary` for a stable
+        reporting/telemetry view.
     """
 
     passed: bool
     violations: list[Violation] = field(default_factory=list)
     execution: CandidateExecution | None = None
     trace: ExecutionTrace | None = None
+    backend: str | None = None
 
     @classmethod
-    def ok(cls, execution: CandidateExecution) -> "CheckResult":
-        return cls(passed=True, execution=execution)
+    def ok(cls, execution: CandidateExecution,
+           backend: str | None = None) -> "CheckResult":
+        return cls(passed=True, execution=execution, backend=backend)
+
+    def violations_summary(self) -> tuple[str, ...]:
+        """Stable ``"kind: description"`` strings, one per violation.
+
+        The supported accessor for reporting and telemetry — it
+        insulates callers from the :class:`Violation` field layout.
+        """
+        return tuple(f"{violation.kind}: {violation.description}"
+                     for violation in self.violations)
+
+
+@runtime_checkable
+class CheckerBackend(Protocol):
+    """The pluggable cycle-search kernel behind :class:`Checker`.
+
+    A backend answers exactly one question — *one deterministic cycle
+    in the union of these relations over this node universe, or None* —
+    because both graph checks (coherence and global happens-before)
+    reduce to it.  Backends must agree cycle-for-cycle: the checker's
+    verdicts and violation descriptions never depend on which backend
+    ran.
+    """
+
+    name: str
+
+    def find_cycle(self, nodes: Sequence,
+                   relations: Sequence[Relation]) -> list | None:
+        """Return one cycle path ``[n0, ..., n0]`` or None if acyclic."""
+        ...  # pragma: no cover - protocol
+
+
+class PythonBackend:
+    """The always-available pure-python backend: sparse DFS cycle search."""
+
+    name = BACKEND_PYTHON
+
+    def find_cycle(self, nodes: Sequence,
+                   relations: Sequence[Relation]) -> list | None:
+        return Relation.union(*relations).find_cycle()
+
+
+def resolve_backend(backend: "str | CheckerBackend" = BACKEND_AUTO,
+                    ) -> CheckerBackend:
+    """Resolve a backend selector to a concrete :class:`CheckerBackend`.
+
+    ``"python"`` always works; ``"matrix"`` requires numpy (raising a
+    clear error otherwise); ``"auto"`` — the default everywhere —
+    picks the vectorized matrix backend when numpy imports and falls
+    back to python when it does not.  A ready-made backend instance
+    passes through unchanged.
+    """
+    if not isinstance(backend, str):
+        return backend
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown checker backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)}")
+    if backend == BACKEND_PYTHON:
+        return PythonBackend()
+    from repro.consistency import matrix as matrix_module
+    if backend == BACKEND_MATRIX or matrix_module.HAVE_NUMPY:
+        return matrix_module.MatrixBackend()
+    return PythonBackend()
+
+
+def resolve_backend_name(backend: "str | CheckerBackend" = BACKEND_AUTO,
+                         ) -> str:
+    """The concrete backend name a selector resolves to (telemetry)."""
+    return resolve_backend(backend).name
+
+
+def external_rf(execution: CandidateExecution,
+                model: MemoryModel) -> Relation:
+    """The rf edges that participate in *model*'s global ordering.
+
+    Internal reads-from (same-thread, non-init source) only
+    participates when the model says so (SC yes, TSO no — store
+    forwarding); shared by both backends and the batch kernel.
+    """
+    relation = Relation()
+    for source, read in execution.rf.edges():
+        internal = (source.pid == read.pid and not source.is_init)
+        if internal and not model.includes_internal_rf:
+            continue
+        relation.add(source, read)
+    return relation
+
+
+def atomicity_violations(execution: CandidateExecution) -> list[Violation]:
+    """RMW-atomicity violations of *execution* (per-address chain walk).
+
+    For every RMW pair (r, w): w must be coherence-ordered directly
+    after the write r read from — a reversed pair or any intervening
+    write breaks atomicity.  Plain python in every backend: it walks
+    short per-address chains rather than searching a graph.
+    """
+    violations = []
+    for read, write in execution.atomic_pairs():
+        source = execution.rf_sources.get(read)
+        if source is None:
+            continue
+        chain = execution.co_chains.get(read.address, [])
+        if source not in chain or write not in chain:
+            continue
+        source_index = chain.index(source)
+        write_index = chain.index(write)
+        if write_index <= source_index:
+            # The RMW's write is coherence-ordered at or before the
+            # write its read observed: the pair went backwards in co,
+            # which is itself an atomicity violation (the old slice
+            # came out empty here and silently passed).
+            violations.append(Violation(
+                kind="atomicity",
+                description=(f"RMW atomicity violated at {read.address:#x}: "
+                             f"write {write.eid} is coherence-ordered "
+                             f"before its read's source {source.eid}")))
+            continue
+        gap = chain[source_index + 1: write_index]
+        if gap:
+            violations.append(Violation(
+                kind="atomicity",
+                description=(f"RMW atomicity violated at {read.address:#x}: "
+                             f"{len(gap)} write(s) intervene between "
+                             f"{source.eid} and {write.eid}")))
+    return violations
 
 
 class Checker:
-    """Checks candidate executions against a memory model."""
+    """Checks candidate executions against a memory model.
 
-    def __init__(self, model: MemoryModel) -> None:
+    *backend* selects the cycle-search kernel: ``"auto"`` (default —
+    the vectorized matrix backend when numpy is available, else pure
+    python), ``"python"``, ``"matrix"``, or a ready
+    :class:`CheckerBackend` instance.  Backends are equivalent
+    violation-for-violation; only checking speed changes.
+    """
+
+    def __init__(self, model: MemoryModel,
+                 backend: "str | CheckerBackend" = BACKEND_AUTO) -> None:
         self.model = model
+        self.backend = resolve_backend(backend)
+
+    @property
+    def backend_name(self) -> str:
+        """The concrete backend in use (``"python"`` or ``"matrix"``)."""
+        return self.backend.name
 
     # ------------------------------------------------------------------
 
@@ -92,7 +250,7 @@ class Checker:
         except ExecutionBuildError as error:
             return CheckResult(passed=False, violations=[
                 Violation(kind="corruption", description=str(error))],
-                trace=trace)
+                trace=trace, backend=self.backend.name)
         if cache is None:
             return self.check(execution)
         return self.check_memoized(execution, cache)
@@ -104,7 +262,7 @@ class Checker:
             execution, self.model, keep_form=cache.keying == KEYING_CANONICAL)
         cached = cache.lookup(signature.key)
         if cached is not None and cached.passed:
-            return CheckResult.ok(execution)
+            return CheckResult.ok(execution, backend=self.backend.name)
         started = time.perf_counter()
         result = self.check(execution)
         if cached is None:
@@ -123,15 +281,17 @@ class Checker:
         violations.extend(self._check_global(execution))
         if violations:
             return CheckResult(passed=False, violations=violations,
-                               execution=execution)
-        return CheckResult.ok(execution)
+                               execution=execution,
+                               backend=self.backend.name)
+        return CheckResult.ok(execution, backend=self.backend.name)
 
     # ------------------------------------------------------------------
 
     def _check_coherence(self, execution: CandidateExecution) -> list[Violation]:
-        relation = Relation.union(execution.po_loc_edges(), execution.rf,
-                                  execution.co, execution.fr)
-        cycle = relation.find_cycle()
+        cycle = self.backend.find_cycle(
+            execution.events,
+            (execution.po_loc_edges(), execution.rf, execution.co,
+             execution.fr))
         if cycle is None:
             return []
         description = ("per-location coherence (uniproc) violated: " +
@@ -140,45 +300,14 @@ class Checker:
                           cycle=tuple(cycle))]
 
     def _check_atomicity(self, execution: CandidateExecution) -> list[Violation]:
-        violations = []
-        for read, write in execution.atomic_pairs():
-            source = execution.rf_sources.get(read)
-            if source is None:
-                continue
-            chain = execution.co_chains.get(read.address, [])
-            if source not in chain or write not in chain:
-                continue
-            source_index = chain.index(source)
-            write_index = chain.index(write)
-            if write_index <= source_index:
-                # The RMW's write is coherence-ordered at or before the
-                # write its read observed: the pair went backwards in co,
-                # which is itself an atomicity violation (the old slice
-                # came out empty here and silently passed).
-                violations.append(Violation(
-                    kind="atomicity",
-                    description=(f"RMW atomicity violated at {read.address:#x}: "
-                                 f"write {write.eid} is coherence-ordered "
-                                 f"before its read's source {source.eid}")))
-                continue
-            gap = chain[source_index + 1: write_index]
-            if gap:
-                violations.append(Violation(
-                    kind="atomicity",
-                    description=(f"RMW atomicity violated at {read.address:#x}: "
-                                 f"{len(gap)} write(s) intervene between "
-                                 f"{source.eid} and {write.eid}")))
-        return violations
+        return atomicity_violations(execution)
 
     def _check_global(self, execution: CandidateExecution) -> list[Violation]:
         ppo = self.model.preserved_program_order(execution)
-        relation = Relation.union(ppo, execution.co, execution.fr)
-        for source, read in execution.rf.edges():
-            internal = (source.pid == read.pid and not source.is_init)
-            if internal and not self.model.includes_internal_rf:
-                continue
-            relation.add(source, read)
-        cycle = relation.find_cycle()
+        cycle = self.backend.find_cycle(
+            execution.events,
+            (ppo, execution.co, execution.fr,
+             external_rf(execution, self.model)))
         if cycle is None:
             return []
         description = (f"{self.model.name} global happens-before cycle: " +

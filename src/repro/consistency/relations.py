@@ -49,7 +49,16 @@ class Relation:
             found.update(dsts)
         return found
 
+    @staticmethod
     def union(*relations: "Relation") -> "Relation":
+        """Union of any number of relations (zero args → empty relation).
+
+        Always a static union — it was previously declared
+        instance-style (``self`` doubling as the first operand), which
+        happened to work because every call site used the class, but
+        made ``some_relation.union(...)`` silently include the
+        receiver.  Now explicit.
+        """
         merged = Relation()
         for relation in relations:
             merged.update(relation)

@@ -135,7 +135,8 @@ class Campaign:
                  model: MemoryModel | None = None,
                  seed: int = 0,
                  chromosome: Chromosome | None = None,
-                 verdict_cache: "VerdictCache | None" = None) -> None:
+                 verdict_cache: "VerdictCache | None" = None,
+                 checker_backend: str = "auto") -> None:
         self.kind = kind
         self.chromosome = chromosome
         self.generator_config = generator_config
@@ -159,7 +160,8 @@ class Campaign:
         self.engine = VerificationEngine(
             generator_config, system_config, faults=self.faults,
             model=self.model, coverage=self.coverage, fitness=fitness,
-            seed=seed, verdict_cache=verdict_cache)
+            seed=seed, verdict_cache=verdict_cache,
+            checker_backend=checker_backend)
         self.rng = random.Random(seed ^ 0xC0FFEE)
         self.generator = RandomTestGenerator(generator_config, self.rng)
         # Cross-evaluation state, checkpointed by :meth:`checkpoint`.

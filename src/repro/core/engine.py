@@ -88,13 +88,14 @@ class VerificationEngine:
                  fitness: AdaptiveCoverageFitness | None = None,
                  barrier: object | None = None,
                  seed: int = 0,
-                 verdict_cache: VerdictCache | None = None) -> None:
+                 verdict_cache: VerdictCache | None = None,
+                 checker_backend: str = "auto") -> None:
         self.generator_config = generator_config
         self.system_config = system_config
         self.faults = faults or FaultSet.none()
         self.model = model or TotalStoreOrder()
         self.coverage = coverage or CoverageCollector()
-        self.checker = Checker(self.model)
+        self.checker = Checker(self.model, backend=checker_backend)
         # Collective checking: memoized verdicts keyed by canonical execution
         # signature.  The cache object is typically shared — per worker or
         # sweep-wide — so novel behaviours checked by one campaign are hits

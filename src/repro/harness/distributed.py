@@ -77,12 +77,14 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.consistency.checker import BACKENDS
 from repro.harness.parallel import (CHUNK_SIZING_FIXED, CHUNK_SIZING_MODES,
                                     DEFAULT_TARGET_CHUNK_SECONDS,
                                     CampaignSpec, ChunkScheduler,
                                     ChunkSizeController, ChunkTask,
-                                    ShardFailure, ShardResult, default_workers,
-                                    execute_chunk_task, merge_shipped_cache)
+                                    ShardFailure, ShardResult, SweepConfig,
+                                    default_workers, execute_chunk_task,
+                                    merge_shipped_cache)
 
 PROTOCOL_MAGIC = "mcversi-distributed"
 PROTOCOL_VERSION = 1
@@ -385,6 +387,7 @@ class Coordinator:
                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                  max_checkpoint_bytes: int | None = None,
                  verdict_memo: bool = False,
+                 checker_backend: str = "auto",
                  hosts_out: dict | None = None,
                  telemetry_out: dict | None = None,
                  handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT
@@ -417,7 +420,8 @@ class Coordinator:
             specs, chunk_evaluations, controller=controller,
             verdict_memo=verdict_memo,
             max_cache_bytes=max(1, max_frame_bytes
-                                // CHECKPOINT_FRAME_FRACTION))
+                                // CHECKPOINT_FRAME_FRACTION),
+            checker_backend=checker_backend)
         self._lease_timeout = lease_timeout
         self._max_frame_bytes = max_frame_bytes
         self._hosts_out = hosts_out
@@ -447,6 +451,35 @@ class Coordinator:
                                                 name="coordinator-leases")
         self._accept_thread.start()
         self._monitor_thread.start()
+
+    @classmethod
+    def from_config(cls, specs: list[CampaignSpec], config: SweepConfig,
+                    bind: object = None,
+                    hosts_out: dict | None = None,
+                    telemetry_out: dict | None = None,
+                    handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT
+                    ) -> "Coordinator":
+        """Build a coordinator from one :class:`SweepConfig`.
+
+        The single place config fields map onto coordinator arguments —
+        the CLI and :func:`iter_distributed` both funnel through here.
+        ``bind`` overrides ``config.coordinator`` (the CLI's ``--bind``);
+        a ``None`` ``max_frame_bytes`` means the default frame cap.
+        """
+        return cls(specs,
+                   chunk_evaluations=config.chunk_evaluations,
+                   chunk_sizing=config.chunk_sizing,
+                   target_chunk_seconds=config.target_chunk_seconds,
+                   bind=bind if bind is not None else config.coordinator,
+                   lease_timeout=config.lease_timeout,
+                   max_frame_bytes=(config.max_frame_bytes
+                                    if config.max_frame_bytes is not None
+                                    else DEFAULT_MAX_FRAME_BYTES),
+                   max_checkpoint_bytes=config.max_checkpoint_bytes,
+                   verdict_memo=config.verdict_memo,
+                   checker_backend=config.checker_backend,
+                   hosts_out=hosts_out, telemetry_out=telemetry_out,
+                   handshake_timeout=handshake_timeout)
 
     # -- host-facing surface -------------------------------------------
 
@@ -964,6 +997,7 @@ def iter_distributed(specs: list[CampaignSpec],
                      target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
                      max_checkpoint_bytes: int | None = None,
                      verdict_memo: bool = False,
+                     checker_backend: str = "auto",
                      lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                      max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                      hosts_out: dict | None = None,
@@ -984,14 +1018,18 @@ def iter_distributed(specs: list[CampaignSpec],
     :class:`Coordinator`); ``telemetry_out`` receives live per-cell and
     per-host throughput.
     """
-    server = Coordinator(specs, chunk_evaluations=chunk_evaluations,
-                         chunk_sizing=chunk_sizing,
-                         target_chunk_seconds=target_chunk_seconds,
-                         bind=coordinator, lease_timeout=lease_timeout,
-                         max_frame_bytes=max_frame_bytes,
-                         max_checkpoint_bytes=max_checkpoint_bytes,
-                         verdict_memo=verdict_memo,
-                         hosts_out=hosts_out, telemetry_out=telemetry_out)
+    server = Coordinator.from_config(
+        specs,
+        SweepConfig(chunk_evaluations=chunk_evaluations,
+                    chunk_sizing=chunk_sizing,
+                    target_chunk_seconds=target_chunk_seconds,
+                    max_checkpoint_bytes=max_checkpoint_bytes,
+                    verdict_memo=verdict_memo,
+                    checker_backend=checker_backend,
+                    transport="tcp", coordinator=coordinator,
+                    lease_timeout=lease_timeout,
+                    max_frame_bytes=max_frame_bytes),
+        hosts_out=hosts_out, telemetry_out=telemetry_out)
     worker_args: tuple[str, ...] = ()
     if max_frame_bytes != DEFAULT_MAX_FRAME_BYTES:
         # Spawned workers must agree with the coordinator's frame cap, or
@@ -1051,14 +1089,22 @@ def _coordinator_main(args: argparse.Namespace) -> int:
                             base_seed=args.base_seed)
     hosts: dict[str, int] = {}
     telemetry: dict = {}
-    server = Coordinator(specs, chunk_evaluations=args.chunk_evaluations,
-                         chunk_sizing=args.chunk_sizing,
-                         target_chunk_seconds=args.target_chunk_seconds,
-                         bind=args.bind, lease_timeout=args.lease_timeout,
-                         max_frame_bytes=args.max_frame_bytes,
-                         max_checkpoint_bytes=args.max_checkpoint_bytes,
-                         verdict_memo=args.verdict_memo,
-                         hosts_out=hosts, telemetry_out=telemetry)
+    # The CLI's single SweepConfig construction: every orchestration
+    # flag folds into the config, which from_config maps onto the
+    # coordinator in one place.
+    sweep_config = SweepConfig(
+        chunk_evaluations=args.chunk_evaluations,
+        chunk_sizing=args.chunk_sizing,
+        target_chunk_seconds=args.target_chunk_seconds,
+        max_checkpoint_bytes=args.max_checkpoint_bytes,
+        verdict_memo=args.verdict_memo,
+        checker_backend=args.checker_backend,
+        transport="tcp",
+        lease_timeout=args.lease_timeout,
+        max_frame_bytes=args.max_frame_bytes)
+    server = Coordinator.from_config(specs, sweep_config, bind=args.bind,
+                                     hosts_out=hosts,
+                                     telemetry_out=telemetry)
     worker_command = (f"python -m repro.harness.distributed worker "
                       f"--connect {format_address(server.address)}")
     if args.max_frame_bytes != DEFAULT_MAX_FRAME_BYTES:
@@ -1195,6 +1241,12 @@ def build_parser() -> argparse.ArgumentParser:
                                   "workers ship canonical-signature cache "
                                   "deltas back with each chunk and the "
                                   "folded cache rides out on dispatch")
+    coordinator.add_argument("--checker-backend", choices=BACKENDS,
+                             default="auto",
+                             help="consistency-checker kernel stamped on "
+                                  "every dispatched chunk: 'matrix' "
+                                  "(vectorized, needs numpy), 'python', "
+                                  "or 'auto' (matrix when available)")
     coordinator.set_defaults(entry=_coordinator_main)
 
     worker = commands.add_parser(

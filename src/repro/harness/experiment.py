@@ -24,7 +24,7 @@ from repro.harness.parallel import (CHUNK_SIZING_FIXED,
                                     DEFAULT_TARGET_CHUNK_SECONDS,
                                     TRANSPORT_LOCAL, WORK_STEALING,
                                     CampaignSpec, CampaignSummary,
-                                    ShardResult, run_campaigns,
+                                    ShardResult, SweepConfig, run_campaigns,
                                     system_for_fault)
 from repro.sim.config import SystemConfig, TestMemoryLayout
 from repro.sim.faults import Fault
@@ -55,7 +55,13 @@ class ExperimentSettings:
     (tcp only) caps one wire frame.  ``verdict_memo=True`` memoizes
     checker verdicts sweep-wide by canonical execution signature
     (collective checking; see :mod:`repro.consistency.memo`) — results
-    are bit-identical with the cache on or off.
+    are bit-identical with the cache on or off.  ``checker_backend``
+    selects the consistency-checker kernel (``"auto"``/``"python"``/
+    ``"matrix"``; backends are verdict-equivalent, only speed changes).
+
+    The orchestration fields mirror :class:`repro.harness.parallel
+    .SweepConfig` one-for-one; :meth:`sweep_config` builds the config
+    object that :meth:`run_matrix` forwards.
     """
 
     generator_config: GeneratorConfig
@@ -75,6 +81,7 @@ class ExperimentSettings:
     lease_timeout: float = 30.0
     max_frame_bytes: int | None = None
     verdict_memo: bool = False
+    checker_backend: str = "auto"
 
     def with_memory(self, memory_kib: int) -> "ExperimentSettings":
         memory = TestMemoryLayout.kib(memory_kib)
@@ -82,21 +89,26 @@ class ExperimentSettings:
                        generator_config=replace(self.generator_config,
                                                 memory=memory))
 
+    def sweep_config(self) -> SweepConfig:
+        """These settings' orchestration knobs as one :class:`SweepConfig`."""
+        return SweepConfig(scheduler=self.scheduler,
+                           chunk_evaluations=self.chunk_evaluations,
+                           chunk_sizing=self.chunk_sizing,
+                           target_chunk_seconds=self.target_chunk_seconds,
+                           max_checkpoint_bytes=self.max_checkpoint_bytes,
+                           verdict_memo=self.verdict_memo,
+                           checker_backend=self.checker_backend,
+                           transport=self.transport,
+                           coordinator=self.coordinator,
+                           lease_timeout=self.lease_timeout,
+                           max_frame_bytes=self.max_frame_bytes)
+
     def run_matrix(self, specs: list[CampaignSpec],
                    on_result: Callable[[ShardResult], None] | None = None,
                    progress: bool = False):
         """Run a shard matrix through the orchestrator with these settings."""
         return run_campaigns(specs, workers=self.workers,
-                             scheduler=self.scheduler,
-                             chunk_evaluations=self.chunk_evaluations,
-                             chunk_sizing=self.chunk_sizing,
-                             target_chunk_seconds=self.target_chunk_seconds,
-                             max_checkpoint_bytes=self.max_checkpoint_bytes,
-                             transport=self.transport,
-                             coordinator=self.coordinator,
-                             lease_timeout=self.lease_timeout,
-                             max_frame_bytes=self.max_frame_bytes,
-                             verdict_memo=self.verdict_memo,
+                             config=self.sweep_config(),
                              on_result=on_result, progress=progress)
 
 

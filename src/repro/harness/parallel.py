@@ -105,6 +105,7 @@ checkpoints no chunk size can keep under the frame cap.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 import pickle
@@ -115,6 +116,7 @@ from dataclasses import dataclass, field, replace
 from statistics import mean
 from typing import Callable, Iterator, TextIO
 
+from repro.consistency.checker import BACKENDS, resolve_backend_name
 from repro.consistency.memo import (DEFAULT_CACHE_CAPACITY, VerdictCache,
                                     VerdictCacheDelta, VerdictCacheState)
 from repro.core.campaign import (Campaign, CampaignCheckpoint, CampaignResult,
@@ -184,20 +186,23 @@ class ShardResult:
 
 
 def _campaign_for(spec: CampaignSpec,
-                  verdict_cache: VerdictCache | None = None) -> Campaign:
+                  verdict_cache: VerdictCache | None = None,
+                  checker_backend: str = "auto") -> Campaign:
     return Campaign(kind=spec.kind,
                     generator_config=spec.generator_config,
                     system_config=spec.system_config,
                     faults=spec.fault_set(),
                     seed=spec.seed,
                     chromosome=spec.chromosome,
-                    verdict_cache=verdict_cache)
+                    verdict_cache=verdict_cache,
+                    checker_backend=checker_backend)
 
 
 def run_shard(spec: CampaignSpec,
-              verdict_cache: VerdictCache | None = None) -> ShardResult:
+              verdict_cache: VerdictCache | None = None,
+              checker_backend: str = "auto") -> ShardResult:
     """Run one shard to completion in the current process."""
-    campaign = _campaign_for(spec, verdict_cache)
+    campaign = _campaign_for(spec, verdict_cache, checker_backend)
     result = campaign.run(spec.max_evaluations, spec.time_limit_seconds)
     return ShardResult(spec=spec, result=result, coverage=campaign.coverage)
 
@@ -205,7 +210,8 @@ def run_shard(spec: CampaignSpec,
 def run_shard_chunk(spec: CampaignSpec,
                     checkpoint: "CampaignCheckpoint | ChunkPayload | None" = None,
                     pause_after: int | None = None,
-                    verdict_cache: VerdictCache | None = None
+                    verdict_cache: VerdictCache | None = None,
+                    checker_backend: str = "auto"
                     ) -> tuple[ShardResult | None, CampaignCheckpoint | None]:
     """Run (a chunk of) one shard in the current process.
 
@@ -219,7 +225,7 @@ def run_shard_chunk(spec: CampaignSpec,
     """
     if isinstance(checkpoint, ChunkPayload):
         checkpoint = checkpoint.load()
-    campaign = _campaign_for(spec, verdict_cache)
+    campaign = _campaign_for(spec, verdict_cache, checker_backend)
     result, new_checkpoint = campaign.run_chunk(
         spec.max_evaluations, spec.time_limit_seconds,
         checkpoint=checkpoint, pause_after=pause_after)
@@ -288,6 +294,10 @@ class ChunkTask:
     #: "memoize, nothing known yet".  Pre-serialized for the same reason
     #: as :class:`ChunkPayload`: the bytes ride every hop verbatim.
     cache: bytes | None = None
+    #: Checker-backend selector stamped at dispatch (like ``cache``), so
+    #: every worker — multiprocessing or TCP — checks with the backend
+    #: the sweep was configured for without any transport changes.
+    checker_backend: str = "auto"
 
 
 @dataclass(frozen=True)
@@ -381,7 +391,8 @@ def _run_chunk_instrumented(
     started = time.perf_counter()
     shard, checkpoint = run_shard_chunk(task.spec, resume_from,
                                         task.pause_after,
-                                        verdict_cache=verdict_cache)
+                                        verdict_cache=verdict_cache,
+                                        checker_backend=task.checker_backend)
     wall_seconds = time.perf_counter() - started
     cache_delta = (verdict_cache.delta(cache_mark)
                    if verdict_cache is not None else None)
@@ -696,7 +707,8 @@ def _telemetry_view(controller: ChunkSizeController,
                     total_seconds: float,
                     checkpoint_bytes: int = 0,
                     bytes_saved: int = 0,
-                    verdict_cache: dict | None = None) -> dict[str, object]:
+                    verdict_cache: dict | None = None,
+                    backend: str | None = None) -> dict[str, object]:
     """The ``telemetry_out`` shape every execution path publishes.
 
     Single point of truth for the live-telemetry mapping consumed by
@@ -716,6 +728,8 @@ def _telemetry_view(controller: ChunkSizeController,
                               "saved_bytes": bytes_saved}
     if verdict_cache is not None:
         view["verdict_cache"] = verdict_cache
+    if backend is not None:
+        view["backend"] = backend
     return view
 
 
@@ -777,13 +791,19 @@ class ChunkScheduler:
                  controller: ChunkSizeController | None = None,
                  verdict_memo: bool = False,
                  memo_capacity: int = DEFAULT_CACHE_CAPACITY,
-                 max_cache_bytes: int | None = None) -> None:
+                 max_cache_bytes: int | None = None,
+                 checker_backend: str = "auto") -> None:
         if controller is None:
             controller = ChunkSizeController(
                 mode=CHUNK_SIZING_FIXED, chunk_evaluations=chunk_evaluations)
         self.specs = specs
         self.chunk_evaluations = chunk_evaluations
         self.controller = controller
+        #: Checker-backend selector stamped onto every dispatched task
+        #: (workers resolve it themselves), plus the name it resolves to
+        #: here for telemetry.
+        self.checker_backend = checker_backend
+        self.backend_name = resolve_backend_name(checker_backend)
         #: Sweep-wide verdict cache (collective checking): outcomes'
         #: deltas fold in via :meth:`record`, and :meth:`next_task` stamps
         #: the current state onto every dispatched task so each worker
@@ -806,7 +826,8 @@ class ChunkScheduler:
         self.cache_seconds_saved = 0.0
         self._queue: deque[ChunkTask] = deque(
             ChunkTask(index=index, spec=spec, checkpoint=None,
-                      pause_after=chunk_evaluations)
+                      pause_after=chunk_evaluations,
+                      checker_backend=checker_backend)
             for index, spec in enumerate(specs))
         self._completed: set[int] = set()
         #: Indices currently sitting in the queue / held by a worker.
@@ -969,7 +990,8 @@ class ChunkScheduler:
             self._queue.append(ChunkTask(
                 index=outcome.index, spec=self.specs[outcome.index],
                 checkpoint=outcome.resume_state(),
-                pause_after=self.chunk_evaluations))
+                pause_after=self.chunk_evaluations,
+                checker_backend=self.checker_backend))
             return None
         self._outstanding.discard(outcome.index)
         self._completed.add(outcome.index)
@@ -991,7 +1013,8 @@ class ChunkScheduler:
                                self.total_chunk_seconds,
                                checkpoint_bytes=self.total_checkpoint_bytes,
                                bytes_saved=self.total_payload_bytes_saved,
-                               verdict_cache=self.cache_telemetry())
+                               verdict_cache=self.cache_telemetry(),
+                               backend=self.backend_name)
 
     def cache_telemetry(self) -> dict[str, object] | None:
         """Sweep-wide verdict-cache counters (``None`` when memo is off)."""
@@ -1149,6 +1172,10 @@ class SweepReport:
     #: Telemetry-only, like the timing fields: excluded from the
     #: determinism contract.
     verdict_cache: dict | None = None
+    #: The concrete checker backend the sweep resolved to (``"python"``
+    #: or ``"matrix"``).  Telemetry-only: backends are
+    #: verdict-equivalent, so this never affects results.
+    checker_backend: str | None = None
 
     @property
     def results(self) -> list[CampaignResult]:
@@ -1245,6 +1272,60 @@ TRANSPORT_LOCAL = "local"
 TRANSPORT_TCP = "tcp"
 TRANSPORTS = (TRANSPORT_LOCAL, TRANSPORT_TCP)
 
+#: Sentinel distinguishing "caller did not pass this legacy kwarg" from
+#: any real value, so ``config=`` plus an explicit legacy kwarg can be
+#: rejected instead of silently preferring one.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """How a sweep runs: every shared orchestration knob, in one place.
+
+    The preferred way to configure :func:`iter_campaigns` and
+    :func:`run_campaigns` (``config=SweepConfig(...)``), and the single
+    object :class:`~repro.harness.experiment.ExperimentSettings`, the
+    scenario driver and the coordinator CLI all build internally —
+    previously each of these threaded the same ~11 kwargs by hand.  The
+    legacy per-kwarg form still works, but mixing it with ``config=``
+    raises ``ValueError`` rather than guessing which one wins.
+
+    Field semantics are documented on :func:`iter_campaigns`; defaults
+    here are identical to the legacy kwarg defaults, so
+    ``SweepConfig()`` means exactly what calling with no kwargs meant.
+    """
+
+    scheduler: str = WORK_STEALING
+    chunk_evaluations: int | None = None
+    chunk_sizing: str = CHUNK_SIZING_FIXED
+    target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS
+    max_checkpoint_bytes: int | None = None
+    verdict_memo: bool = False
+    checker_backend: str = "auto"
+    transport: str = TRANSPORT_LOCAL
+    coordinator: object = None
+    lease_timeout: float = 30.0
+    max_frame_bytes: int | None = None
+
+
+def _resolve_sweep_config(config: SweepConfig | None,
+                          overrides: dict) -> SweepConfig:
+    """Fold ``config=`` and legacy kwargs into one :class:`SweepConfig`.
+
+    *overrides* maps field name → passed value, with :data:`_UNSET` for
+    kwargs the caller left alone.  Exactly one form may be used: a
+    ``config`` object alongside any explicit legacy kwarg raises.
+    """
+    given = {name: value for name, value in overrides.items()
+             if value is not _UNSET}
+    if config is not None:
+        if given:
+            raise ValueError(
+                "pass either config=SweepConfig(...) or the legacy "
+                f"kwargs, not both (config plus {sorted(given)})")
+        return config
+    return SweepConfig(**given)
+
 
 def _worker_loop(task_queue, result_queue) -> None:
     """Work-stealing worker: pull :class:`ChunkTask` items until sentinel.
@@ -1279,7 +1360,8 @@ def _iter_serial(specs: list[CampaignSpec],
                  chunk_evaluations: int | None,
                  controller: ChunkSizeController | None = None,
                  telemetry_out: dict | None = None,
-                 verdict_memo: bool = False
+                 verdict_memo: bool = False,
+                 checker_backend: str = "auto"
                  ) -> Iterator[tuple[int, ShardResult]]:
     """In-process execution in matrix order (the workers=1 fallback).
 
@@ -1301,13 +1383,15 @@ def _iter_serial(specs: list[CampaignSpec],
     # Even then the continuation resumes from the materialized object:
     # the dumps is the measurement, a loads would be pure overhead.
     serialize = controller.max_checkpoint_bytes is not None
+    backend_name = resolve_backend_name(checker_backend)
     total_evaluations, total_seconds = 0, 0.0
     for index, spec in enumerate(specs):
         checkpoint = None
         while True:
             task = ChunkTask(index=index, spec=spec, checkpoint=checkpoint,
                              pause_after=controller.chunk_for(
-                                 sizing_key(spec)))
+                                 sizing_key(spec)),
+                             checker_backend=checker_backend)
             shard, checkpoint, _, telemetry, _ = _run_chunk_instrumented(
                 task, serialize_checkpoint=serialize,
                 verdict_cache=verdict_cache)
@@ -1318,7 +1402,8 @@ def _iter_serial(specs: list[CampaignSpec],
                 telemetry_out.update(_telemetry_view(
                     controller, total_evaluations, total_seconds,
                     verdict_cache=(verdict_cache.stats()
-                                   if verdict_cache is not None else None)))
+                                   if verdict_cache is not None else None),
+                    backend=backend_name))
             if shard is not None:
                 yield index, shard
                 break
@@ -1326,7 +1411,9 @@ def _iter_serial(specs: list[CampaignSpec],
 
 def _iter_static(specs: list[CampaignSpec], workers: int,
                  mp_context: str | None,
-                 chunksize: int | None) -> Iterator[tuple[int, ShardResult]]:
+                 chunksize: int | None,
+                 checker_backend: str = "auto"
+                 ) -> Iterator[tuple[int, ShardResult]]:
     """Static scheduling: contiguous per-worker blocks, one barrier.
 
     ``pool.map`` with a block-sized chunksize assigns shard ``i`` to worker
@@ -1338,8 +1425,9 @@ def _iter_static(specs: list[CampaignSpec], workers: int,
     processes = min(workers, len(specs))
     if chunksize is None:
         chunksize = -(-len(specs) // processes)  # ceil: contiguous blocks
+    run = functools.partial(run_shard, checker_backend=checker_backend)
     with context.Pool(processes=processes) as pool:
-        shards = pool.map(run_shard, specs, chunksize=chunksize)
+        shards = pool.map(run, specs, chunksize=chunksize)
     yield from enumerate(shards)
 
 
@@ -1348,7 +1436,8 @@ def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
                         chunk_evaluations: int | None,
                         controller: ChunkSizeController | None = None,
                         telemetry_out: dict | None = None,
-                        verdict_memo: bool = False
+                        verdict_memo: bool = False,
+                        checker_backend: str = "auto"
                         ) -> Iterator[tuple[int, ShardResult]]:
     """Pull-based scheduling: a shared queue workers drain as they finish.
 
@@ -1361,7 +1450,8 @@ def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
     processes = min(workers, len(specs))
     scheduler = ChunkScheduler(specs, chunk_evaluations,
                                controller=controller,
-                               verdict_memo=verdict_memo)
+                               verdict_memo=verdict_memo,
+                               checker_backend=checker_backend)
     task_queue = context.Queue()
     result_queue = context.Queue()
     pool = [context.Process(target=_worker_loop,
@@ -1410,17 +1500,19 @@ def _iter_work_stealing(specs: list[CampaignSpec], workers: int,
 
 def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
                    mp_context: str | None = None,
-                   scheduler: str = WORK_STEALING,
-                   chunk_evaluations: int | None = None,
+                   scheduler: str = _UNSET,
+                   chunk_evaluations: int | None = _UNSET,
                    chunksize: int | None = None,
-                   chunk_sizing: str = CHUNK_SIZING_FIXED,
-                   target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
-                   max_checkpoint_bytes: int | None = None,
-                   verdict_memo: bool = False,
-                   transport: str = TRANSPORT_LOCAL,
-                   coordinator: object = None,
-                   lease_timeout: float = 30.0,
-                   max_frame_bytes: int | None = None,
+                   chunk_sizing: str = _UNSET,
+                   target_chunk_seconds: float = _UNSET,
+                   max_checkpoint_bytes: int | None = _UNSET,
+                   verdict_memo: bool = _UNSET,
+                   checker_backend: str = _UNSET,
+                   transport: str = _UNSET,
+                   coordinator: object = _UNSET,
+                   lease_timeout: float = _UNSET,
+                   max_frame_bytes: int | None = _UNSET,
+                   config: SweepConfig | None = None,
                    hosts_out: dict | None = None,
                    telemetry_out: dict | None = None
                    ) -> Iterator[tuple[int, ShardResult]]:
@@ -1431,6 +1523,14 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
     its matrix index so consumers can reassemble deterministic reports.
     Arguments are validated eagerly (at call time), not when the returned
     iterator is first advanced.
+
+    ``config=SweepConfig(...)`` is the preferred way to pass every shared
+    orchestration knob (scheduler, chunking, memoization, checker
+    backend, transport); the individual kwargs remain supported with
+    unchanged defaults, but combining them with ``config`` raises
+    ``ValueError``.  ``workers``, ``mp_context``, ``chunksize`` and the
+    ``*_out`` mappings stay per-call arguments: they describe this
+    process's resources, not the sweep.
 
     ``chunk_sizing="adaptive"`` re-sizes chunks from per-chunk telemetry
     so each takes about ``target_chunk_seconds`` of worker wall-clock
@@ -1468,9 +1568,31 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
     stalled workers are re-queued after ``lease_timeout`` seconds.  See
     :mod:`repro.harness.distributed`.
     """
+    config = _resolve_sweep_config(config, dict(
+        scheduler=scheduler, chunk_evaluations=chunk_evaluations,
+        chunk_sizing=chunk_sizing,
+        target_chunk_seconds=target_chunk_seconds,
+        max_checkpoint_bytes=max_checkpoint_bytes,
+        verdict_memo=verdict_memo, checker_backend=checker_backend,
+        transport=transport, coordinator=coordinator,
+        lease_timeout=lease_timeout, max_frame_bytes=max_frame_bytes))
+    scheduler = config.scheduler
+    chunk_evaluations = config.chunk_evaluations
+    chunk_sizing = config.chunk_sizing
+    target_chunk_seconds = config.target_chunk_seconds
+    max_checkpoint_bytes = config.max_checkpoint_bytes
+    verdict_memo = config.verdict_memo
+    checker_backend = config.checker_backend
+    transport = config.transport
+    coordinator = config.coordinator
+    lease_timeout = config.lease_timeout
+    max_frame_bytes = config.max_frame_bytes
     if transport not in TRANSPORTS:
         raise ValueError(f"unknown transport {transport!r}; "
                          f"expected one of {TRANSPORTS}")
+    if checker_backend not in BACKENDS:
+        raise ValueError(f"unknown checker_backend {checker_backend!r}; "
+                         f"expected one of {BACKENDS}")
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler {scheduler!r}; "
                          f"expected one of {SCHEDULERS}")
@@ -1531,6 +1653,7 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
                                 target_chunk_seconds=target_chunk_seconds,
                                 max_checkpoint_bytes=max_checkpoint_bytes,
                                 verdict_memo=verdict_memo,
+                                checker_backend=checker_backend,
                                 lease_timeout=lease_timeout,
                                 max_frame_bytes=(max_frame_bytes
                                                  if max_frame_bytes is not None
@@ -1551,13 +1674,16 @@ def iter_campaigns(specs: list[CampaignSpec], workers: int = 1,
     if workers == 1 or len(specs) <= 1:
         return _iter_serial(specs, chunk_evaluations, controller=controller,
                             telemetry_out=telemetry_out,
-                            verdict_memo=verdict_memo)
+                            verdict_memo=verdict_memo,
+                            checker_backend=checker_backend)
     if scheduler == STATIC:
-        return _iter_static(specs, workers, mp_context, chunksize)
+        return _iter_static(specs, workers, mp_context, chunksize,
+                            checker_backend=checker_backend)
     return _iter_work_stealing(specs, workers, mp_context,
                                chunk_evaluations, controller=controller,
                                telemetry_out=telemetry_out,
-                               verdict_memo=verdict_memo)
+                               verdict_memo=verdict_memo,
+                               checker_backend=checker_backend)
 
 
 class SweepAccumulator:
@@ -1615,16 +1741,18 @@ class SweepAccumulator:
 def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
                   mp_context: str | None = None,
                   chunksize: int | None = None,
-                  scheduler: str = WORK_STEALING,
-                  chunk_evaluations: int | None = None,
-                  chunk_sizing: str = CHUNK_SIZING_FIXED,
-                  target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
-                  max_checkpoint_bytes: int | None = None,
-                  verdict_memo: bool = False,
-                  transport: str = TRANSPORT_LOCAL,
-                  coordinator: object = None,
-                  lease_timeout: float = 30.0,
-                  max_frame_bytes: int | None = None,
+                  scheduler: str = _UNSET,
+                  chunk_evaluations: int | None = _UNSET,
+                  chunk_sizing: str = _UNSET,
+                  target_chunk_seconds: float = _UNSET,
+                  max_checkpoint_bytes: int | None = _UNSET,
+                  verdict_memo: bool = _UNSET,
+                  checker_backend: str = _UNSET,
+                  transport: str = _UNSET,
+                  coordinator: object = _UNSET,
+                  lease_timeout: float = _UNSET,
+                  max_frame_bytes: int | None = _UNSET,
+                  config: SweepConfig | None = None,
                   on_result: Callable[[ShardResult], None] | None = None,
                   progress: bool = False,
                   progress_stream: TextIO | None = None) -> SweepReport:
@@ -1657,32 +1785,35 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
     live telemetry (per-kind evaluations/second and current chunk sizes)
     when chunking is enabled.  The returned report always lists shards in
     matrix order, so downstream tables are independent of completion order.
+
+    Like :func:`iter_campaigns`, ``config=SweepConfig(...)`` is the
+    preferred way to pass the shared orchestration knobs; mixing it with
+    the legacy kwargs raises ``ValueError``.
     """
+    config = _resolve_sweep_config(config, dict(
+        scheduler=scheduler, chunk_evaluations=chunk_evaluations,
+        chunk_sizing=chunk_sizing,
+        target_chunk_seconds=target_chunk_seconds,
+        max_checkpoint_bytes=max_checkpoint_bytes,
+        verdict_memo=verdict_memo, checker_backend=checker_backend,
+        transport=transport, coordinator=coordinator,
+        lease_timeout=lease_timeout, max_frame_bytes=max_frame_bytes))
     started = time.perf_counter()
     accumulator = SweepAccumulator(total=len(specs), workers=workers)
     printer = None
     hosts: dict[str, int] | None = (
-        {} if transport == TRANSPORT_TCP and progress else None)
+        {} if config.transport == TRANSPORT_TCP and progress else None)
     telemetry: dict | None = (
-        {} if (progress and chunk_evaluations is not None) or verdict_memo
-        else None)
+        {} if (progress and config.chunk_evaluations is not None)
+        or config.verdict_memo else None)
     if progress:
         from repro.harness.reporting import ProgressPrinter
 
         printer = ProgressPrinter(total=len(specs), stream=progress_stream)
     for index, shard in iter_campaigns(specs, workers=workers,
                                        mp_context=mp_context,
-                                       scheduler=scheduler,
-                                       chunk_evaluations=chunk_evaluations,
-                                       chunk_sizing=chunk_sizing,
-                                       target_chunk_seconds=target_chunk_seconds,
-                                       max_checkpoint_bytes=max_checkpoint_bytes,
-                                       verdict_memo=verdict_memo,
                                        chunksize=chunksize,
-                                       transport=transport,
-                                       coordinator=coordinator,
-                                       lease_timeout=lease_timeout,
-                                       max_frame_bytes=max_frame_bytes,
+                                       config=config,
                                        hosts_out=hosts,
                                        telemetry_out=telemetry):
         accumulator.add(index, shard)
@@ -1698,4 +1829,5 @@ def run_campaigns(specs: list[CampaignSpec], workers: int = 1,
     report = accumulator.finalize(time.perf_counter() - started)
     if telemetry is not None and "verdict_cache" in telemetry:
         report.verdict_cache = dict(telemetry["verdict_cache"])
+    report.checker_backend = resolve_backend_name(config.checker_backend)
     return report

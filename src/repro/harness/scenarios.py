@@ -291,6 +291,7 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                        lease_timeout: float = 30.0,
                        max_frame_bytes: int | None = None,
                        verdict_memo: bool = False,
+                       checker_backend: str = "auto",
                        on_result=None,
                        progress: bool = False) -> "SweepReport":
     """Run the directed scenarios through the parallel orchestrator.
@@ -303,23 +304,28 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
     checkpoints, and ``transport="tcp"`` shards the scenarios across TCP
     workers (see :mod:`repro.harness.distributed`).  ``verdict_memo=True``
     memoizes checker verdicts sweep-wide by canonical execution signature
-    (collective checking) without changing any verdict.
+    (collective checking) without changing any verdict;
+    ``checker_backend`` selects the verdict-equivalent checker kernel.
+    The kwargs are folded into one
+    :class:`~repro.harness.parallel.SweepConfig` internally.
     """
-    from repro.harness.parallel import run_campaigns
+    from repro.harness.parallel import SweepConfig, run_campaigns
 
     specs = scenario_specs(faults=faults,
                            seeds_per_scenario=seeds_per_scenario,
                            base_seed=base_seed, max_test_runs=max_test_runs,
                            time_limit_seconds=time_limit_seconds)
-    return run_campaigns(specs, workers=workers, scheduler=scheduler,
+    config = SweepConfig(scheduler=scheduler,
                          chunk_evaluations=chunk_evaluations,
                          chunk_sizing=chunk_sizing,
                          target_chunk_seconds=target_chunk_seconds,
                          max_checkpoint_bytes=max_checkpoint_bytes,
+                         verdict_memo=verdict_memo,
+                         checker_backend=checker_backend,
                          transport=transport, coordinator=coordinator,
                          lease_timeout=lease_timeout,
-                         max_frame_bytes=max_frame_bytes,
-                         verdict_memo=verdict_memo,
+                         max_frame_bytes=max_frame_bytes)
+    return run_campaigns(specs, workers=workers, config=config,
                          on_result=on_result, progress=progress)
 
 

@@ -22,6 +22,20 @@ class TestRelationBasics:
         merged = Relation.union(Relation([("a", "b")]), Relation([("b", "c")]))
         assert ("a", "b") in merged and ("b", "c") in merged
 
+    def test_union_with_zero_args_is_the_empty_relation(self):
+        # Regression: union used to be an instance-style method whose
+        # ``self`` doubled as the first operand, so the zero-arg static
+        # call was a TypeError.
+        merged = Relation.union()
+        assert len(merged) == 0
+        assert merged.is_acyclic()
+
+    def test_union_on_an_instance_does_not_include_the_receiver(self):
+        receiver = Relation([("x", "y")])
+        merged = receiver.union(Relation([("a", "b")]))
+        assert ("a", "b") in merged
+        assert ("x", "y") not in merged
+
     def test_successors(self):
         relation = Relation([("a", "b"), ("a", "c")])
         assert relation.successors("a") == frozenset({"b", "c"})
