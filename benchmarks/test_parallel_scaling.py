@@ -104,6 +104,9 @@ KERNEL_THREADS = 4
 KERNEL_OPS_PER_THREAD = 16
 #: Interleaved python/matrix repetitions; best time of each side kept.
 KERNEL_ROUNDS = 3
+#: Replay benchmark corpus: each exported scenario trace appears twice,
+#: so the memoized replay sees an ~50% verdict-cache hit ceiling.
+REPLAY_SHARD_TRACES = 6
 
 
 def _sweep_specs():
@@ -287,6 +290,46 @@ def memo_sweeps():
             if memo not in best or check < best[memo][1]:
                 best[memo] = (shards, check, wall, cache)
     return best[False], best[True]
+
+
+@pytest.fixture(scope="module")
+def replay_sweeps(tmp_path_factory):
+    """Trace-ingestion replay over an exported corpus, plain vs memoized.
+
+    The corpus is freshly exported from two directed scenarios and
+    duplicated file-for-file, so the memoized replay's verdict cache has
+    a guaranteed hit for every second trace; verdicts must be identical
+    either way.
+    """
+    import shutil
+
+    from repro.bridge.replay import run_replay_sweep
+    from repro.harness.scenarios import export_scenario_corpus
+
+    corpus = str(tmp_path_factory.mktemp("replay-corpus"))
+    paths = export_scenario_corpus(
+        corpus, faults=[Fault.SQ_NO_FIFO, Fault.MESI_LQ_IS_INV],
+        runs_per_scenario=1)
+    for path in paths:
+        directory, name = os.path.split(path)
+        shutil.copy(path, os.path.join(directory, f"dup-{name}"))
+    plain = run_replay_sweep(corpus, shard_traces=REPLAY_SHARD_TRACES)
+    memo = run_replay_sweep(corpus, shard_traces=REPLAY_SHARD_TRACES,
+                            verdict_memo=True)
+    return len(paths) * 2, plain, memo
+
+
+def test_replay_memoization_preserves_verdicts(replay_sweeps, capsys):
+    traces, plain, memo = replay_sweeps
+    assert len(plain.replay_verdicts()) == traces
+    assert plain.replay_verdicts() == memo.replay_verdicts()
+    assert memo.verdict_cache["hits"] > 0, \
+        "duplicated corpus must produce verdict-cache hits"
+    check = sum(shard.result.check_seconds for shard in plain.shards)
+    with capsys.disabled():
+        print(f"\n  [bench] replay: {traces} traces, "
+              f"{traces / max(check, 1e-9):.0f} traces/check-second, "
+              f"memo hit_rate={memo.verdict_cache['hit_rate']:.0%}")
 
 
 def _random_kernel_execution(rng: random.Random):
@@ -596,7 +639,7 @@ def test_single_serialization_beats_double(serialization_costs, benchmark,
 
 def test_bench_json_artifact(sweeps, hetero_sweeps, tcp_sweep,
                              adaptive_sweeps, serialization_costs,
-                             memo_sweeps, kernel_costs):
+                             memo_sweeps, kernel_costs, replay_sweeps):
     """Dump the measured numbers for CI's BENCH_parallel.json artifact."""
     path = os.environ.get("REPRO_BENCH_JSON")
     if not path:
@@ -607,6 +650,9 @@ def test_bench_json_artifact(sweeps, hetero_sweeps, tcp_sweep,
     serialization, _, _ = serialization_costs
     ((_, plain_check, plain_wall, _),
      (memo_shards, memo_check, memo_wall, memo_cache)) = memo_sweeps
+    replay_traces, replay_plain, replay_memo = replay_sweeps
+    replay_check = sum(shard.result.check_seconds
+                       for shard in replay_plain.shards)
     memo_evaluations = sum(shard.result.evaluations
                            for shard in memo_shards)
     payload = {
@@ -674,6 +720,20 @@ def test_bench_json_artifact(sweeps, hetero_sweeps, tcp_sweep,
             **(kernel_costs if kernel_costs is not None
                else {"executions": 0, "speedup": None}),
             "backend_available": kernel_costs is not None,
+        },
+        "replay": {
+            # Trace-ingestion replay over an exported, duplicated
+            # corpus: ingest+check throughput of the bridge, and the
+            # verdict cache's view of the duplicate half.
+            "traces": replay_traces,
+            "shard_traces": REPLAY_SHARD_TRACES,
+            "check_seconds": replay_check,
+            "traces_per_check_second": replay_traces / max(replay_check,
+                                                           1e-9),
+            "wall_seconds": replay_plain.wall_seconds,
+            "memo_wall_seconds": replay_memo.wall_seconds,
+            "memo_hit_rate": replay_memo.verdict_cache["hit_rate"],
+            "memo_hits": replay_memo.verdict_cache["hits"],
         },
         "distributed": {
             # Same heterogeneous sweep served over loopback TCP: the

@@ -1,0 +1,273 @@
+"""The versioned abstract-event trace schema (JSON-lines on disk).
+
+A trace file describes one observed execution of one multi-threaded test
+as a sequence of *performed* memory events, in the spirit of M3's
+abstract-event API: every committed load reports the value it observed
+(``ld_perform``), every globally performed store reports its value and
+the value it overwrote (``st_globally_perform``), and every atomic
+read-modify-write reports both (``rmw_perform``).  From exactly these
+observations the existing execution builder reconstructs po/rf/co/fr —
+values are the globally unique write identifiers of
+:mod:`repro.sim.trace` (``0`` denotes the initial memory value), so the
+mapping from an observed value to the producing write is exact.
+
+On disk a trace is JSON-lines: one header object followed by one event
+object per line, events in per-thread program order (interleaving
+between threads is irrelevant — program order is the per-``tid``
+subsequence)::
+
+    {"schema": "repro.bridge/trace", "version": 1,
+     "source": "gem5:mp-litmus", "threads": 2}
+    {"event": "st_globally_perform", "tid": 0, "op": 0,
+     "addr": 64, "value": 1, "overwritten": 0}
+    {"event": "ld_perform", "tid": 1, "op": 2, "addr": 64, "value": 1}
+    {"event": "rmw_perform", "tid": 1, "op": 3, "addr": 128,
+     "read_value": 0, "value": 2, "overwritten": 0}
+
+A load whose value was never observed (the external run truncated, the
+thread never committed it) carries ``"value": null``: the operation
+stays in the program so the checker reports the missing observation as
+a corruption verdict instead of silently shrinking the test.
+
+Everything that violates the schema raises :class:`TraceFormatError`
+(never a bare ``KeyError``/``TypeError``), so corpus replay can isolate
+a malformed file as one failing verdict rather than a crashed sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.sim.testprogram import OpKind, TestOp, TestThread
+from repro.sim.trace import ExecutionTrace
+
+#: Value of the header's ``"schema"`` field.
+SCHEMA_NAME = "repro.bridge/trace"
+#: Highest schema version this reader/writer understands.
+SCHEMA_VERSION = 1
+
+LD_PERFORM = "ld_perform"
+ST_GLOBALLY_PERFORM = "st_globally_perform"
+RMW_PERFORM = "rmw_perform"
+EVENT_KINDS = (LD_PERFORM, ST_GLOBALLY_PERFORM, RMW_PERFORM)
+
+
+class TraceFormatError(ValueError):
+    """A trace file (or event stream) violates the bridge schema.
+
+    Raised for malformed JSON, unknown schema/version, missing or
+    mistyped fields, op-id reuse across threads, duplicate write
+    values, and out-of-range thread ids.  Corpus replay treats it as a
+    per-file verdict (``corrupt``), never as a sweep-fatal error.
+    """
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One abstract memory event, decoded from any supported format.
+
+    ``value`` is the observed (load) or produced (store/rmw) write id;
+    ``None`` on a load means the observation is missing.
+    ``read_value``/``overwritten`` are only meaningful for RMW and
+    store/RMW events respectively.
+    """
+
+    kind: str
+    tid: int
+    op_id: int
+    address: int
+    value: int | None = None
+    read_value: int | None = None
+    overwritten: int = 0
+
+
+@dataclass
+class TraceDocument:
+    """A fully validated ingested trace, ready for the checker.
+
+    ``threads``/``trace`` are exactly the objects
+    :meth:`repro.consistency.checker.Checker.check_trace` consumes —
+    the signature/memoization and coverage machinery downstream need no
+    changes to handle ingested executions.
+    """
+
+    source: str
+    num_threads: int
+    threads: list[TestThread]
+    trace: ExecutionTrace
+    events: list[TraceEvent] = field(default_factory=list)
+    path: str | None = None
+
+
+def header_dict(source: str, num_threads: int) -> dict:
+    """The native-format header object for one trace file."""
+    return {"schema": SCHEMA_NAME, "version": SCHEMA_VERSION,
+            "source": source, "threads": num_threads}
+
+
+def event_dict(event: TraceEvent) -> dict:
+    """The native-format JSON object for one event (stable key order)."""
+    record: dict = {"event": event.kind, "tid": event.tid,
+                    "op": event.op_id, "addr": event.address}
+    if event.kind == RMW_PERFORM:
+        record["read_value"] = event.read_value
+    record["value"] = event.value
+    if event.kind in (ST_GLOBALLY_PERFORM, RMW_PERFORM):
+        record["overwritten"] = event.overwritten
+    return record
+
+
+def _require_int(record: dict, key: str, context: str,
+                 minimum: int = 0) -> int:
+    value = record.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TraceFormatError(
+            f"{context}: field {key!r} must be an integer, "
+            f"got {value!r}")
+    if value < minimum:
+        raise TraceFormatError(
+            f"{context}: field {key!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def _optional_value(record: dict, key: str, context: str) -> int | None:
+    value = record.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TraceFormatError(
+            f"{context}: field {key!r} must be an integer or null, "
+            f"got {value!r}")
+    if value < 0:
+        raise TraceFormatError(
+            f"{context}: field {key!r} must be >= 0, got {value}")
+    return value
+
+
+def parse_event(record: dict, context: str) -> TraceEvent:
+    """Decode and validate one native-format event object."""
+    if not isinstance(record, dict):
+        raise TraceFormatError(f"{context}: expected a JSON object, "
+                               f"got {type(record).__name__}")
+    kind = record.get("event")
+    if kind not in EVENT_KINDS:
+        raise TraceFormatError(
+            f"{context}: unknown event kind {kind!r}; expected one of "
+            f"{', '.join(EVENT_KINDS)}")
+    tid = _require_int(record, "tid", context)
+    op_id = _require_int(record, "op", context)
+    address = _require_int(record, "addr", context)
+    if kind == LD_PERFORM:
+        return TraceEvent(kind=kind, tid=tid, op_id=op_id, address=address,
+                          value=_optional_value(record, "value", context))
+    overwritten = (_require_int(record, "overwritten", context)
+                   if "overwritten" in record else 0)
+    value = _require_int(record, "value", context, minimum=1)
+    if kind == ST_GLOBALLY_PERFORM:
+        return TraceEvent(kind=kind, tid=tid, op_id=op_id, address=address,
+                          value=value, overwritten=overwritten)
+    read_value = _optional_value(record, "read_value", context)
+    if read_value is None:
+        raise TraceFormatError(
+            f"{context}: rmw_perform requires an observed read_value")
+    return TraceEvent(kind=kind, tid=tid, op_id=op_id, address=address,
+                      value=value, read_value=read_value,
+                      overwritten=overwritten)
+
+
+def parse_header(line: str, context: str) -> dict:
+    """Decode and validate the native-format header line."""
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise TraceFormatError(f"{context}: malformed header: {error}"
+                               ) from None
+    if not isinstance(header, dict) or header.get("schema") != SCHEMA_NAME:
+        raise TraceFormatError(
+            f"{context}: first line must be a {SCHEMA_NAME!r} header")
+    version = header.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise TraceFormatError(f"{context}: bad schema version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise TraceFormatError(
+            f"{context}: schema version {version} is newer than the "
+            f"supported version {SCHEMA_VERSION}")
+    _require_int(header, "threads", context, minimum=1)
+    return header
+
+
+def document_from_events(events: list[TraceEvent], source: str,
+                         num_threads: int | None = None,
+                         path: str | None = None) -> TraceDocument:
+    """Build the checker-ready document from decoded events.
+
+    Validates the cross-event invariants the downstream machinery
+    assumes: op ids globally unique across threads (they key events and
+    RMW pairs — see ``CandidateExecution.atomic_pairs``), write values
+    positive and globally unique (they *are* the write identity), and
+    thread ids inside the declared thread count.  The three
+    ``record_*`` methods of :class:`~repro.sim.trace.ExecutionTrace`
+    are driven uniformly — ``record_write`` commits by default — and
+    the built trace passes ``ExecutionTrace.validate()``.
+    """
+    context = path or source
+    if not events:
+        raise TraceFormatError(f"{context}: trace contains no events")
+    tids = sorted({event.tid for event in events})
+    if num_threads is None:
+        num_threads = tids[-1] + 1
+    if tids[-1] >= num_threads:
+        raise TraceFormatError(
+            f"{context}: event tid {tids[-1]} outside the declared "
+            f"thread count {num_threads}")
+    ops_by_tid: dict[int, list[TestOp]] = {
+        tid: [] for tid in range(num_threads)}
+    trace = ExecutionTrace()
+    op_owner: dict[int, int] = {}
+    write_values: dict[int, int] = {}
+    for index, event in enumerate(events):
+        where = f"{context}: event {index}"
+        if event.op_id in op_owner:
+            raise TraceFormatError(
+                f"{where}: op id {event.op_id} already used by thread "
+                f"{op_owner[event.op_id]}; op ids must be globally "
+                "unique")
+        op_owner[event.op_id] = event.tid
+        if event.kind == LD_PERFORM:
+            ops_by_tid[event.tid].append(
+                TestOp(op_id=event.op_id, kind=OpKind.READ,
+                       address=event.address))
+            if event.value is None:
+                # Preserve the op with no observation: the checker
+                # reports the missing read as a corruption verdict.
+                trace.record_commit(event.op_id, event.tid)
+            else:
+                trace.record_read(event.op_id, event.tid, event.address,
+                                  event.value)
+            continue
+        if event.value in write_values:
+            raise TraceFormatError(
+                f"{where}: write value {event.value} already produced "
+                f"by op {write_values[event.value]}; write values must "
+                "be globally unique")
+        write_values[event.value] = event.op_id
+        if event.kind == ST_GLOBALLY_PERFORM:
+            ops_by_tid[event.tid].append(
+                TestOp(op_id=event.op_id, kind=OpKind.WRITE,
+                       address=event.address, value=event.value))
+            trace.record_write(event.op_id, event.tid, event.address,
+                               event.value, event.overwritten)
+        else:
+            ops_by_tid[event.tid].append(
+                TestOp(op_id=event.op_id, kind=OpKind.RMW,
+                       address=event.address, value=event.value))
+            trace.record_rmw(event.op_id, event.tid, event.address,
+                             event.read_value, event.value,
+                             event.overwritten)
+    trace.validate()
+    threads = [TestThread(pid=tid, ops=tuple(ops))
+               for tid, ops in sorted(ops_by_tid.items())]
+    return TraceDocument(source=source, num_threads=num_threads,
+                         threads=threads, trace=trace, events=list(events),
+                         path=path)

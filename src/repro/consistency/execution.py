@@ -112,6 +112,21 @@ def _static_events(threads: list[TestThread]) -> tuple[
     program_order: dict[int, list[Event]] = {}
     write_by_value: dict[int, Event] = {}
     event_by_eid: dict[tuple, Event] = {}
+    op_owner: dict[int, int] = {}
+    for thread in threads:
+        for op in thread.ops:
+            if not op.kind.is_memory:
+                continue
+            if op.op_id in op_owner:
+                # atomic_pairs() and event lookups key events by bare op
+                # id, so an op-id collision silently aliases events;
+                # generated programs number ops globally, but ingested
+                # traces must be rejected here.
+                raise ExecutionBuildError(
+                    f"op id {op.op_id} is reused by threads "
+                    f"{op_owner[op.op_id]} and {thread.pid}; op ids "
+                    "must be globally unique")
+            op_owner[op.op_id] = thread.pid
     for thread in threads:
         events: list[Event] = []
         po_index = 0

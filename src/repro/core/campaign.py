@@ -47,6 +47,9 @@ class GeneratorKind(Enum):
     MCVERSI_RAND = "McVerSi-RAND"
     DIY_LITMUS = "diy-litmus"
     DIRECTED = "directed-scenario"
+    #: Second campaign backend: instead of "generate + simulate", check
+    #: an ingested corpus of external traces (see :mod:`repro.bridge`).
+    REPLAY = "trace-replay"
 
     @property
     def is_genetic(self) -> bool:
@@ -136,7 +139,8 @@ class Campaign:
                  seed: int = 0,
                  chromosome: Chromosome | None = None,
                  verdict_cache: "VerdictCache | None" = None,
-                 checker_backend: str = "auto") -> None:
+                 checker_backend: str = "auto",
+                 trace_sink=None) -> None:
         self.kind = kind
         self.chromosome = chromosome
         self.generator_config = generator_config
@@ -161,7 +165,7 @@ class Campaign:
             generator_config, system_config, faults=self.faults,
             model=self.model, coverage=self.coverage, fitness=fitness,
             seed=seed, verdict_cache=verdict_cache,
-            checker_backend=checker_backend)
+            checker_backend=checker_backend, trace_sink=trace_sink)
         self.rng = random.Random(seed ^ 0xC0FFEE)
         self.generator = RandomTestGenerator(generator_config, self.rng)
         # Cross-evaluation state, checkpointed by :meth:`checkpoint`.

@@ -89,7 +89,8 @@ class VerificationEngine:
                  barrier: object | None = None,
                  seed: int = 0,
                  verdict_cache: VerdictCache | None = None,
-                 checker_backend: str = "auto") -> None:
+                 checker_backend: str = "auto",
+                 trace_sink=None) -> None:
         self.generator_config = generator_config
         self.system_config = system_config
         self.faults = faults or FaultSet.none()
@@ -101,6 +102,10 @@ class VerificationEngine:
         # sweep-wide — so novel behaviours checked by one campaign are hits
         # for every later one.
         self.verdict_cache = verdict_cache
+        # Optional ``(threads, trace)`` callback fired for every cleanly
+        # simulated iteration — the export hook of the trace-ingestion
+        # bridge (see :class:`repro.bridge.export.CorpusExporter`).
+        self.trace_sink = trace_sink
         self.fitness = fitness or AdaptiveCoverageFitness(
             self.coverage,
             initial_cutoff=generator_config.coverage_initial_cutoff,
@@ -181,6 +186,8 @@ class VerificationEngine:
                 violations.append("deadlock: simulation did not quiesce")
                 bug_found = True
                 break
+            if self.trace_sink is not None:
+                self.trace_sink(threads, iteration.trace)
             started = time.perf_counter()
             check = self.checker.check_trace(threads, iteration.trace,
                                              cache=self.verdict_cache)

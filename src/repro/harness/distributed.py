@@ -1077,16 +1077,24 @@ def _coordinator_main(args: argparse.Namespace) -> int:
     from repro.sim.config import SystemConfig
     from repro.sim.faults import Fault
 
-    kinds = [GeneratorKind(value) for value in args.kinds.split(",")]
-    faults = [None if value.lower() in ("none", "correct") else Fault(value)
-              for value in args.faults.split(",")]
-    config = GeneratorConfig.quick(memory_kib=args.memory_kib)
-    specs = campaign_matrix(kinds=kinds, faults=faults,
-                            generator_config=config,
-                            system_config=SystemConfig(),
-                            max_evaluations=args.max_evaluations,
-                            seeds_per_cell=args.seeds_per_cell,
-                            base_seed=args.base_seed)
+    if args.replay_corpus is not None:
+        # Replay mode: shard an ingested corpus instead of a generator
+        # matrix (the trace-ingestion bridge, repro.bridge).
+        from repro.bridge.replay import replay_specs
+        specs = replay_specs(args.replay_corpus,
+                             shard_traces=args.shard_traces,
+                             base_seed=args.base_seed)
+    else:
+        kinds = [GeneratorKind(value) for value in args.kinds.split(",")]
+        faults = [None if value.lower() in ("none", "correct")
+                  else Fault(value) for value in args.faults.split(",")]
+        config = GeneratorConfig.quick(memory_kib=args.memory_kib)
+        specs = campaign_matrix(kinds=kinds, faults=faults,
+                                generator_config=config,
+                                system_config=SystemConfig(),
+                                max_evaluations=args.max_evaluations,
+                                seeds_per_cell=args.seeds_per_cell,
+                                base_seed=args.base_seed)
     hosts: dict[str, int] = {}
     telemetry: dict = {}
     # The CLI's single SweepConfig construction: every orchestration
@@ -1128,7 +1136,11 @@ def _coordinator_main(args: argparse.Namespace) -> int:
     finally:
         server.close()
     report = accumulator.finalize()
-    print(format_sweep_report(report, title="Distributed sweep"))
+    if args.replay_corpus is not None:
+        from repro.harness.reporting import format_replay_report
+        print(format_replay_report(report, title="Distributed replay sweep"))
+    else:
+        print(format_sweep_report(report, title="Distributed sweep"))
     for worker_name in sorted(server.stats.workers_seen):
         rate = server.stats.evals_per_second(worker_name)
         rate_note = f", {rate:.1f} evals/s" if rate is not None else ""
@@ -1207,6 +1219,13 @@ def build_parser() -> argparse.ArgumentParser:
     coordinator.add_argument("--faults", default="SQ+no-FIFO,none",
                              help="comma-separated Fault paper names "
                                   "('none' for the correct system)")
+    coordinator.add_argument("--replay-corpus", default=None,
+                             help="replay an ingested trace corpus "
+                                  "directory instead of running a "
+                                  "generator matrix (repro.bridge)")
+    coordinator.add_argument("--shard-traces", type=int, default=25,
+                             help="trace files per replay shard "
+                                  "(with --replay-corpus)")
     coordinator.add_argument("--seeds-per-cell", type=int, default=2)
     coordinator.add_argument("--base-seed", type=int, default=1)
     coordinator.add_argument("--max-evaluations", type=int, default=20)

@@ -305,3 +305,46 @@ class CoverageExperiment:
         headers = ["Protocol"]
         headers.extend(f"{kind.value} ({kib}KB)" for kind, kib in self.configurations)
         return headers
+
+
+class ReplayExperiment:
+    """Replay-checks an ingested trace corpus under experiment settings.
+
+    The trace-ingestion twin of the campaign experiments: the corpus
+    (a directory or an explicit path list) is sharded through
+    :func:`repro.bridge.replay.replay_specs` and run with this
+    experiment's orchestration settings (workers, scheduler, transport,
+    memoization, checker backend).  ``run()`` returns the
+    :class:`~repro.harness.parallel.SweepReport`; per-source verdict
+    counts land in :attr:`sources` for tabulation.
+    """
+
+    def __init__(self, settings: ExperimentSettings, corpus,
+                 shard_traces: int = 25) -> None:
+        self.settings = settings
+        self.corpus = corpus
+        self.shard_traces = shard_traces
+        self.sources: dict[str, dict[str, int]] = {}
+
+    def run(self, on_result: Callable[[ShardResult], None] | None = None,
+            progress: bool = False):
+        from repro.bridge.replay import replay_specs
+
+        specs = replay_specs(
+            self.corpus, shard_traces=self.shard_traces,
+            base_seed=self.settings.seed,
+            time_limit_seconds=self.settings.time_limit_seconds,
+            generator_config=self.settings.generator_config,
+            system_config=self.settings.system_config)
+        report = self.settings.run_matrix(specs, on_result=on_result,
+                                          progress=progress)
+        self.sources = report.replay_sources()
+        return report
+
+    def table_headers(self) -> list[str]:
+        return ["Source", "Traces", "Passed", "Failed", "Corrupt"]
+
+    def table_rows(self) -> list[list[str]]:
+        return [[source, str(counters["traces"]), str(counters["passed"]),
+                 str(counters["failed"]), str(counters["corrupt"])]
+                for source, counters in sorted(self.sources.items())]

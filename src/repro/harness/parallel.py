@@ -155,6 +155,12 @@ class CampaignSpec:
     systems until the budget is exhausted or a bug is found (this is how the
     directed stress scenarios of :mod:`repro.harness.scenarios` route
     through the orchestrator).
+
+    With ``kind=GeneratorKind.REPLAY`` the shard checks an ingested
+    corpus slice instead of simulating: ``trace_paths`` lists the trace
+    files and ``max_evaluations`` should equal its length (one
+    evaluation per trace).  The generator/system configs are reporting
+    placeholders in that mode — replay never simulates.
     """
 
     kind: GeneratorKind
@@ -165,6 +171,7 @@ class CampaignSpec:
     max_evaluations: int
     time_limit_seconds: float | None = None
     chromosome: Chromosome | None = None
+    trace_paths: tuple[str, ...] | None = None
     label: str = ""
 
     def fault_set(self) -> FaultSet:
@@ -187,7 +194,18 @@ class ShardResult:
 
 def _campaign_for(spec: CampaignSpec,
                   verdict_cache: VerdictCache | None = None,
-                  checker_backend: str = "auto") -> Campaign:
+                  checker_backend: str = "auto") -> "Campaign":
+    if spec.kind is GeneratorKind.REPLAY:
+        # Lazy import: the bridge depends on this module for sweeps,
+        # so the harness must not import it at module load.
+        from repro.bridge.replay import ReplayCampaign
+        if not spec.trace_paths:
+            raise ValueError(
+                "a replay spec needs trace_paths; build specs with "
+                "repro.bridge.replay.replay_specs")
+        return ReplayCampaign(spec.trace_paths, seed=spec.seed,
+                              verdict_cache=verdict_cache,
+                              checker_backend=checker_backend)
     return Campaign(kind=spec.kind,
                     generator_config=spec.generator_config,
                     system_config=spec.system_config,
@@ -1184,6 +1202,42 @@ class SweepReport:
     @property
     def found_count(self) -> int:
         return sum(1 for shard in self.shards if shard.result.found)
+
+    # -- replay (trace-ingestion) views --------------------------------
+    #
+    # Replay shards attach a ``stats`` object (see
+    # :class:`repro.bridge.replay.ReplayShardStats`) to their results.
+    # Discovery is duck-typed off that attribute so this module never
+    # imports the bridge.
+
+    def _replay_stats(self) -> list:
+        return [stats for shard in self.shards
+                if (stats := getattr(shard.result, "stats", None))
+                is not None]
+
+    @property
+    def corrupt_traces(self) -> int:
+        """Traces that were unreadable or internally inconsistent."""
+        return sum(stats.corrupt for stats in self._replay_stats())
+
+    def replay_sources(self) -> dict[str, dict[str, int]]:
+        """Per-source verdict counters, summed across replay shards."""
+        merged: dict[str, dict[str, int]] = {}
+        for stats in self._replay_stats():
+            for source, counters in sorted(stats.sources.items()):
+                into = merged.setdefault(
+                    source, {"traces": 0, "passed": 0, "failed": 0,
+                             "corrupt": 0})
+                for key, count in counters.items():
+                    into[key] = into.get(key, 0) + count
+        return merged
+
+    def replay_verdicts(self) -> dict[str, str]:
+        """``file name -> verdict`` over every replayed trace."""
+        verdicts: dict[str, str] = {}
+        for stats in self._replay_stats():
+            verdicts.update(stats.verdicts)
+        return verdicts
 
     def summaries(self) -> list[CampaignSummary]:
         """One Table-4-style summary per (kind, memory, protocol, fault)

@@ -59,6 +59,30 @@ def format_sweep_report(report: "SweepReport",
     return f"{table}\n{footer}"
 
 
+def format_replay_report(report: "SweepReport",
+                         title: str = "Replay sweep") -> str:
+    """Render a trace-replay sweep as a per-source verdict table.
+
+    One row per declared trace source (the header ``source`` field; files
+    too broken to declare one group under ``(unreadable)``), followed by
+    a footer with the sweep totals — ``corrupt`` counts the traces that
+    were unreadable or internally inconsistent, a subset of ``failed``.
+    """
+    sources = report.replay_sources()
+    rows = [[source, counters["traces"], counters["passed"],
+             counters["failed"], counters["corrupt"]]
+            for source, counters in sorted(sources.items())]
+    table = format_table(["Source", "Traces", "Passed", "Failed",
+                          "Corrupt"], rows, title=title)
+    total = sum(counters["traces"] for counters in sources.values())
+    failed = sum(counters["failed"] for counters in sources.values())
+    footer = (f"traces={total} failed={failed} "
+              f"corrupt={report.corrupt_traces} "
+              f"shards={len(report.shards)} workers={report.workers} "
+              f"wall={report.wall_seconds:.2f}s")
+    return f"{table}\n{footer}"
+
+
 def format_host_progress(hosts: dict[str, int]) -> str:
     """Per-host completion counts of a distributed sweep, stable order.
 

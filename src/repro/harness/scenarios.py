@@ -329,6 +329,47 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                          on_result=on_result, progress=progress)
 
 
+def export_scenario_corpus(directory: str,
+                           faults: list[Fault] | None = None,
+                           runs_per_scenario: int = 2,
+                           base_seed: int = 1,
+                           inject: bool = False) -> list[str]:
+    """Simulate the directed scenarios and export every trace to *directory*.
+
+    The bridge's corpus generator: each scenario's fixed program is run
+    ``runs_per_scenario`` times through the verification engine with a
+    :class:`~repro.bridge.export.CorpusExporter` attached as
+    ``trace_sink``, so every cleanly simulated iteration lands in
+    *directory* as one native JSONL trace file.  By default the systems
+    are fault-free, producing a passing corpus; ``inject=True`` injects
+    each scenario's fault instead, seeding the corpus with genuinely
+    buggy executions (iterations that die in a protocol error or
+    deadlock produce no trace, so injected corpora can be smaller).
+    Returns the written paths in scenario order.
+    """
+    from repro.bridge.export import CorpusExporter
+    from repro.core.engine import VerificationEngine
+    from repro.harness.parallel import derive_shard_seed
+    from repro.sim.faults import FaultSet
+
+    written: list[str] = []
+    for index, fault in enumerate(
+            faults if faults is not None else list(Fault)):
+        scenario = scenario_for(fault)
+        exporter = CorpusExporter(
+            directory, prefix=f"scenario-{fault.name.lower()}",
+            source=f"repro-sim:{fault.paper_name}")
+        engine = VerificationEngine(
+            scenario.generator_config, scenario.system_config,
+            faults=FaultSet.of(fault) if inject else FaultSet.none(),
+            seed=derive_shard_seed(base_seed, index),
+            trace_sink=exporter)
+        for _ in range(runs_per_scenario):
+            engine.run_test(scenario.chromosome)
+        written.extend(exporter.paths)
+    return written
+
+
 def scenario_for(fault: Fault) -> Scenario:
     """The directed scenario targeting *fault*."""
     if fault in (Fault.MESI_LQ_IS_INV, Fault.LQ_NO_TSO):

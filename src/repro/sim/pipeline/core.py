@@ -215,6 +215,8 @@ class CoreEngine:
                 if self.store_buffer.full:
                     break
                 self.store_buffer.push(head.op)
+                if kind is OpKind.WRITE:
+                    self.trace.record_commit(head.op.op_id, self.core_id)
             elif kind is OpKind.RMW:
                 if not head.performed:
                     break
@@ -244,8 +246,10 @@ class CoreEngine:
 
             def on_written(overwritten: int, entry: StoreBufferEntry = entry,
                            op: TestOp = op) -> None:
+                # Two-phase path: commit_order was recorded at commit
+                # time (program order), long before this serialisation.
                 self.trace.record_write(op.op_id, self.core_id, op.address,
-                                        op.value, overwritten)
+                                        op.value, overwritten, commit=False)
                 self.store_buffer.complete(entry)
                 self._wake()
 

@@ -60,8 +60,20 @@ class ExecutionTrace:
         self.commit_order.setdefault(pid, []).append(op_id)
 
     def record_write(self, op_id: int, pid: int, address: int, value: int,
-                     overwritten: int) -> None:
+                     overwritten: int, commit: bool = True) -> None:
+        """Record one serialised write.
+
+        ``commit=False`` is the two-phase simulator path: the pipeline
+        commits a write into its store buffer (appearing in
+        ``commit_order`` via :meth:`record_commit`) long before the
+        cache serialises it and this method runs.  Every other caller
+        — ingestion bridges in particular — records commit and
+        serialisation as one event, so committing here is the default:
+        the three ``record_*`` methods then behave uniformly.
+        """
         self.writes.append(WriteRecord(op_id, pid, address, value, overwritten))
+        if commit:
+            self.commit_order.setdefault(pid, []).append(op_id)
 
     def record_commit(self, op_id: int, pid: int) -> None:
         """Record the commit of a non-read operation (for program order)."""
@@ -72,6 +84,28 @@ class ExecutionTrace:
         self.rmws.append(RmwRecord(op_id, pid, address, read_value,
                                    written_value, overwritten))
         self.commit_order.setdefault(pid, []).append(op_id)
+
+    def validate(self) -> None:
+        """Reject traces whose recorded ops are missing from commit order.
+
+        Guards the historical asymmetry this module shipped with:
+        ``record_write`` did not append to ``commit_order`` while
+        ``record_read``/``record_rmw`` did, so a caller treating the
+        three methods uniformly silently dropped writes from program
+        order.  Raises :class:`ValueError` naming the missing ops.
+        """
+        committed = {(pid, op_id)
+                     for pid, op_ids in self.commit_order.items()
+                     for op_id in op_ids}
+        missing = [(record.pid, record.op_id)
+                   for records in (self.reads, self.writes, self.rmws)
+                   for record in records
+                   if (record.pid, record.op_id) not in committed]
+        if missing:
+            listing = ", ".join(f"op {op_id} (thread {pid})"
+                                for pid, op_id in sorted(missing))
+            raise ValueError(
+                f"trace records ops absent from commit_order: {listing}")
 
     @property
     def num_events(self) -> int:

@@ -97,3 +97,33 @@ class TestExecutionTrace:
         trace.record_read(0, 0, 0x40, 7)
         trace.record_rmw(1, 0, 0x40, 3, 9, 3)
         assert trace.observed_value_sources() == {7, 3}
+
+
+class TestRecordApiSymmetry:
+    """record_write commits by default, like record_read/record_rmw."""
+
+    def test_record_write_appends_to_commit_order(self):
+        trace = ExecutionTrace()
+        trace.record_write(2, 0, 0x40, 1, 0)
+        trace.record_read(3, 0, 0x40, 1)
+        trace.record_rmw(4, 0, 0x40, 1, 2, 1)
+        assert trace.commit_order[0] == [2, 3, 4]
+
+    def test_record_write_commit_opt_out(self):
+        """The two-phase simulator path records commit_order itself."""
+        trace = ExecutionTrace()
+        trace.record_commit(2, 0)
+        trace.record_write(2, 0, 0x40, 1, 0, commit=False)
+        assert trace.commit_order[0] == [2]
+
+    def test_validate_accepts_symmetric_trace(self):
+        trace = ExecutionTrace()
+        trace.record_write(0, 0, 0x40, 1, 0)
+        trace.record_read(1, 1, 0x40, 1)
+        trace.validate()
+
+    def test_validate_rejects_uncommitted_record(self):
+        trace = ExecutionTrace()
+        trace.record_write(0, 0, 0x40, 1, 0, commit=False)
+        with pytest.raises(ValueError, match="absent from commit_order"):
+            trace.validate()
