@@ -377,3 +377,14 @@ def run_replay_sweep(corpus: "str | list[str]",
                          max_frame_bytes=max_frame_bytes)
     return run_campaigns(specs, workers=workers, config=config,
                          on_result=on_result, progress=progress)
+
+
+# Admit the replay wire types to the restricted codec.  The harness
+# codec lazy-imports this module on first sight of one of these names
+# (``repro.harness.codec._LAZY_MODULES``); the import-time calls below
+# are what actually fill its registry.
+from repro.harness.codec import register as _codec_register
+
+for _cls in (ReplayShardStats, ReplayCheckpoint, ReplayCampaignResult):
+    _codec_register(_cls)
+del _cls, _codec_register

@@ -1,0 +1,466 @@
+"""Restricted binary frame codec for untrusted workers.
+
+The distributed transport's frames are pickles, which is fine on a
+trusted cluster but unacceptable the moment a worker (or anything that
+can reach the socket) is not fully trusted: unpickling attacker bytes is
+arbitrary code execution.  This module provides the drop-in alternative
+the verification service (:mod:`repro.harness.service`) uses in
+``codec="restricted"`` mode: a tagged binary encoding over a *closed*
+type universe — ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, ``list``/``tuple``/``dict``/``set``/``frozenset``, plus an
+explicit registry of the dataclasses and enums that legitimately cross
+the coordinator/worker wire (:class:`~repro.harness.parallel.ChunkTask`,
+:class:`~repro.harness.parallel.ChunkOutcome` and everything reachable
+from them).
+
+Decoding never executes anything: every tag maps to a fixed constructor,
+unknown tags and unknown class names raise :class:`CodecError`, every
+length and count is bounds-checked against the remaining buffer before
+any allocation, and nesting depth is capped.  In particular, feeding a
+pickle (or any other byte soup) to :func:`decode` fails fast with
+:class:`CodecError` — it is a :class:`ProtocolError` subclass, so the
+service's existing error taxonomy covers hostile frames uniformly.
+
+Registered dataclasses are encoded field-by-field (their
+``__post_init__`` validation runs on decode, so malformed field values
+from a hostile peer are rejected by the same invariants trusted code
+relies on); classes with non-dataclass state register explicit
+``encode``/``decode`` hooks (:class:`~repro.sim.coverage.CoverageCollector`).
+
+What stays opaque: resume checkpoints and verdict-cache shipments cross
+the wire as pre-serialized *bytes* fields (``ChunkPayload.data``,
+``ChunkTask.cache``) and are only ever deserialized by the worker that
+resumes the chunk — the coordinator never unpickles them.  See
+``docs/service.md`` for the full threat model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from enum import Enum
+from typing import Callable, Iterable
+
+from repro.harness.distributed import ProtocolError
+
+
+class CodecError(ProtocolError):
+    """A frame could not be encoded/decoded under the restricted codec."""
+
+
+#: Maximum container/object nesting depth.  The real message graphs are
+#: a handful of levels deep; a deeply nested hostile frame must exhaust
+#: this limit, not the interpreter stack.
+MAX_DEPTH = 48
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_I64_MIN, _I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+# ----------------------------------------------------------------------
+# Registry
+
+
+@dataclasses.dataclass(frozen=True)
+class _Registered:
+    """One class admitted to the wire: how to take it apart and rebuild."""
+
+    cls: type
+    fields: tuple[str, ...] | None
+    encode_fn: Callable | None
+    decode_fn: Callable | None
+    is_enum: bool
+
+
+_BY_NAME: dict[str, _Registered] = {}
+_BY_TYPE: dict[type, _Registered] = {}
+
+#: Classes that may legitimately appear on the wire but whose defining
+#: module is imported lazily (the harness never imports the bridge at
+#: module load; see ``repro.harness.parallel._campaign_for``).  On an
+#: unknown-name decode the module is imported once — its import-time
+#: ``register`` calls fill the registry — and the lookup retried.
+_LAZY_MODULES: dict[str, str] = {
+    "ReplayShardStats": "repro.bridge.replay",
+    "ReplayCheckpoint": "repro.bridge.replay",
+    "ReplayCampaignResult": "repro.bridge.replay",
+}
+
+
+def register(cls: type, fields: Iterable[str] | None = None, *,
+             encode: Callable | None = None,
+             decode: Callable | None = None) -> type:
+    """Admit *cls* to the restricted wire format.
+
+    Dataclasses need nothing beyond the class itself (fields are derived
+    from the dataclass definition); enums are encoded by value.  Classes
+    with private/non-dataclass state pass ``encode`` (instance -> field
+    dict) and ``decode`` (field dict -> instance) hooks.  Registering
+    the same class twice is idempotent; a *different* class under an
+    already-taken name is a programming error and raises.
+    """
+    name = cls.__name__
+    existing = _BY_NAME.get(name)
+    if existing is not None:
+        if existing.cls is cls:
+            return cls
+        raise ValueError(f"codec name {name!r} already registered for "
+                         f"{existing.cls!r}")
+    is_enum = isinstance(cls, type) and issubclass(cls, Enum)
+    if not is_enum and encode is None:
+        if fields is None:
+            if not dataclasses.is_dataclass(cls):
+                raise ValueError(f"{cls!r} is not a dataclass; pass fields "
+                                 "or encode/decode hooks")
+            fields = tuple(entry.name for entry in dataclasses.fields(cls))
+        else:
+            fields = tuple(fields)
+    else:
+        fields = None
+    entry = _Registered(cls=cls, fields=fields, encode_fn=encode,
+                        decode_fn=decode, is_enum=is_enum)
+    _BY_NAME[name] = entry
+    _BY_TYPE[cls] = entry
+    return cls
+
+
+def registered_names() -> tuple[str, ...]:
+    """The admitted class names (stable for docs/tests)."""
+    return tuple(sorted(_BY_NAME))
+
+
+def _entry_for_name(name: str) -> _Registered:
+    entry = _BY_NAME.get(name)
+    if entry is None and name in _LAZY_MODULES:
+        import importlib
+
+        importlib.import_module(_LAZY_MODULES[name])
+        entry = _BY_NAME.get(name)
+    if entry is None:
+        raise CodecError(f"frame names unregistered class {name!r}")
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Encoding
+
+
+def _encode_str(out: bytearray, tag: bytes, text: str) -> None:
+    data = text.encode("utf-8")
+    out += tag
+    out += _U32.pack(len(data))
+    out += data
+
+
+def _encode_name(out: bytearray, name: str) -> None:
+    data = name.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise CodecError(f"name too long to encode ({len(data)} bytes)")
+    out += _U16.pack(len(data))
+    out += data
+
+
+def _encode_value(out: bytearray, value: object, depth: int) -> None:
+    if depth > MAX_DEPTH:
+        raise CodecError(f"value nests deeper than {MAX_DEPTH} levels")
+    if value is None:
+        out += b"N"
+        return
+    kind = type(value)
+    if kind is bool:
+        out += b"T" if value else b"F"
+        return
+    if kind is int:
+        if _I64_MIN <= value <= _I64_MAX:
+            out += b"i"
+            out += _I64.pack(value)
+        else:
+            _encode_str(out, b"I", str(value))
+        return
+    if kind is float:
+        out += b"f"
+        out += _F64.pack(value)
+        return
+    if kind is str:
+        _encode_str(out, b"s", value)
+        return
+    if kind is bytes:
+        out += b"b"
+        out += _U32.pack(len(value))
+        out += value
+        return
+    if kind in (list, tuple, set, frozenset):
+        tag = {list: b"l", tuple: b"t", set: b"S", frozenset: b"R"}[kind]
+        out += tag
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(out, item, depth + 1)
+        return
+    if kind is dict:
+        out += b"d"
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            _encode_value(out, key, depth + 1)
+            _encode_value(out, item, depth + 1)
+        return
+    entry = _BY_TYPE.get(kind)
+    if entry is None:
+        raise CodecError(
+            f"type {kind.__name__!r} is not admitted to the restricted "
+            "codec; register() it or use the pickle codec on a trusted "
+            "cluster")
+    if entry.is_enum:
+        out += b"E"
+        _encode_name(out, kind.__name__)
+        _encode_value(out, value.value, depth + 1)
+        return
+    out += b"O"
+    _encode_name(out, kind.__name__)
+    if entry.encode_fn is not None:
+        fields = entry.encode_fn(value)
+    else:
+        fields = {name: getattr(value, name) for name in entry.fields}
+    out += _U32.pack(len(fields))
+    for name, item in fields.items():
+        _encode_name(out, name)
+        _encode_value(out, item, depth + 1)
+
+
+def encode(message: object) -> bytes:
+    """Encode *message* into restricted-codec bytes.
+
+    Raises :class:`CodecError` on any value outside the closed type
+    universe — encoding is exactly as restrictive as decoding, so a
+    message that encodes is guaranteed to decode on a peer with the same
+    registrations.
+    """
+    out = bytearray()
+    _encode_value(out, message, 0)
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+
+
+class _Decoder:
+    """Cursor over one frame; every read is bounds-checked first."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = memoryview(data)
+        self.pos = 0
+
+    def take(self, count: int) -> memoryview:
+        if count < 0 or self.pos + count > len(self.data):
+            raise CodecError(
+                f"truncated frame: needed {count} bytes at offset "
+                f"{self.pos} of {len(self.data)}")
+        view = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return view
+
+    def tag(self) -> bytes:
+        return bytes(self.take(1))
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(_U16.size))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(_U32.size))[0]
+
+    def count(self, length: int) -> int:
+        """A container count, sanity-bounded by the remaining bytes.
+
+        Every encoded element occupies at least one byte, so a count
+        exceeding the unread remainder is hostile (an allocation bomb)
+        and rejected before any allocation happens.
+        """
+        if length > len(self.data) - self.pos:
+            raise CodecError(
+                f"frame announces {length} elements with only "
+                f"{len(self.data) - self.pos} bytes left")
+        return length
+
+    def text(self) -> str:
+        try:
+            return str(self.take(self.count(self.u32())), "utf-8")
+        except UnicodeDecodeError as error:
+            raise CodecError(f"invalid utf-8 in frame: {error}") from error
+
+    def name(self) -> str:
+        try:
+            return str(self.take(self.count(self.u16())), "utf-8")
+        except UnicodeDecodeError as error:
+            raise CodecError(f"invalid utf-8 in frame: {error}") from error
+
+
+def _decode_value(cursor: _Decoder, depth: int) -> object:
+    if depth > MAX_DEPTH:
+        raise CodecError(f"frame nests deeper than {MAX_DEPTH} levels")
+    tag = cursor.tag()
+    if tag == b"N":
+        return None
+    if tag == b"T":
+        return True
+    if tag == b"F":
+        return False
+    if tag == b"i":
+        return _I64.unpack(cursor.take(_I64.size))[0]
+    if tag == b"I":
+        text = cursor.text()
+        try:
+            return int(text)
+        except ValueError as error:
+            raise CodecError(f"invalid big-integer literal: {error}") \
+                from error
+    if tag == b"f":
+        return _F64.unpack(cursor.take(_F64.size))[0]
+    if tag == b"s":
+        return cursor.text()
+    if tag == b"b":
+        return bytes(cursor.take(cursor.count(cursor.u32())))
+    if tag in (b"l", b"t", b"S", b"R"):
+        length = cursor.count(cursor.u32())
+        items = [_decode_value(cursor, depth + 1) for _ in range(length)]
+        try:
+            if tag == b"l":
+                return items
+            if tag == b"t":
+                return tuple(items)
+            return set(items) if tag == b"S" else frozenset(items)
+        except TypeError as error:
+            raise CodecError(f"unhashable set element: {error}") from error
+    if tag == b"d":
+        length = cursor.count(cursor.u32())
+        result = {}
+        try:
+            for _ in range(length):
+                key = _decode_value(cursor, depth + 1)
+                result[key] = _decode_value(cursor, depth + 1)
+        except TypeError as error:
+            raise CodecError(f"unhashable dict key: {error}") from error
+        return result
+    if tag == b"E":
+        entry = _entry_for_name(cursor.name())
+        if not entry.is_enum:
+            raise CodecError(
+                f"{entry.cls.__name__!r} encoded as an enum but is not one")
+        value = _decode_value(cursor, depth + 1)
+        try:
+            return entry.cls(value)
+        except ValueError as error:
+            raise CodecError(f"invalid {entry.cls.__name__} value "
+                             f"{value!r}") from error
+    if tag == b"O":
+        entry = _entry_for_name(cursor.name())
+        if entry.is_enum:
+            raise CodecError(
+                f"{entry.cls.__name__!r} encoded as an object but is an "
+                "enum")
+        length = cursor.count(cursor.u32())
+        fields: dict[str, object] = {}
+        for _ in range(length):
+            field_name = cursor.name()
+            fields[field_name] = _decode_value(cursor, depth + 1)
+        allowed = entry.fields
+        if allowed is not None:
+            unknown = set(fields) - set(allowed)
+            if unknown:
+                raise CodecError(
+                    f"{entry.cls.__name__} frame carries unknown "
+                    f"field(s) {sorted(unknown)}")
+        try:
+            if entry.decode_fn is not None:
+                return entry.decode_fn(fields)
+            return entry.cls(**fields)
+        except CodecError:
+            raise
+        except Exception as error:
+            # A registered class's own validation (__post_init__ etc.)
+            # rejected the field values: hostile or corrupt content.
+            raise CodecError(
+                f"invalid {entry.cls.__name__} content: {error}") from error
+    raise CodecError(f"unknown frame tag {tag!r} at offset "
+                     f"{cursor.pos - 1}")
+
+
+def decode(data: bytes) -> object:
+    """Decode one restricted-codec frame.
+
+    Raises :class:`CodecError` — never executes embedded code, never
+    over-allocates, never hangs — on anything that is not a well-formed
+    frame over registered types, including pickles and truncated or
+    trailing-garbage frames.
+    """
+    cursor = _Decoder(data)
+    value = _decode_value(cursor, 0)
+    if cursor.pos != len(cursor.data):
+        raise CodecError(
+            f"{len(cursor.data) - cursor.pos} trailing byte(s) after the "
+            "frame payload")
+    return value
+
+
+# ----------------------------------------------------------------------
+# The wire type universe
+#
+# Everything reachable from a ChunkTask (coordinator -> worker) or a
+# ChunkOutcome (worker -> coordinator).  Resume checkpoints and cache
+# shipments stay opaque ``bytes`` (see the module docstring), so
+# CampaignCheckpoint and the engine/population graphs are deliberately
+# *not* admitted.
+
+
+def _register_wire_types() -> None:
+    from repro.consistency.memo import (CachedVerdict, VerdictCacheDelta,
+                                        VerdictCacheState)
+    from repro.core.campaign import CampaignResult, GeneratorKind
+    from repro.core.config import GeneratorConfig, OperationBias
+    from repro.core.program import Chromosome
+    from repro.harness.parallel import (CampaignSpec, ChunkOutcome,
+                                        ChunkPayload, ChunkTask,
+                                        ChunkTelemetry, ShardResult)
+    from repro.sim.config import CacheConfig, SystemConfig, TestMemoryLayout
+    from repro.sim.coverage import CoverageCollector, TransitionKey
+    from repro.sim.faults import Fault
+    from repro.sim.testprogram import OpKind, TestOp
+
+    for cls in (ChunkTask, ChunkOutcome, ChunkTelemetry, ChunkPayload,
+                CampaignSpec, ShardResult, CampaignResult,
+                GeneratorConfig, OperationBias, Chromosome, TestOp,
+                SystemConfig, CacheConfig, TestMemoryLayout,
+                TransitionKey, VerdictCacheDelta, VerdictCacheState,
+                CachedVerdict, GeneratorKind, OpKind, Fault):
+        register(cls)
+
+    def encode_coverage(collector: CoverageCollector) -> dict:
+        return {
+            "counts": tuple((key, count) for key, count
+                            in collector.global_counts.items()),
+            "known": tuple(collector._known),
+            "run": tuple(collector._run_transitions),
+        }
+
+    def decode_coverage(fields: dict) -> CoverageCollector:
+        collector = CoverageCollector()
+        for key, count in fields["counts"]:
+            if not isinstance(key, TransitionKey) or not isinstance(count,
+                                                                    int):
+                raise CodecError("malformed coverage counter entry")
+            collector.global_counts[key] = count
+        for name in ("known", "run"):
+            if any(not isinstance(key, TransitionKey)
+                   for key in fields[name]):
+                raise CodecError(f"malformed coverage {name!r} entry")
+        collector.declare(fields["known"])
+        collector._run_transitions.update(fields["run"])
+        return collector
+
+    register(CoverageCollector, encode=encode_coverage,
+             decode=decode_coverage)
+
+
+_register_wire_types()

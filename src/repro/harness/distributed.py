@@ -78,13 +78,13 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.consistency.checker import BACKENDS
-from repro.harness.parallel import (CHUNK_SIZING_FIXED, CHUNK_SIZING_MODES,
+from repro.harness.parallel import (CHECKPOINT_FRAME_FRACTION,
+                                    CHUNK_SIZING_FIXED, CHUNK_SIZING_MODES,
                                     DEFAULT_TARGET_CHUNK_SECONDS,
-                                    CampaignSpec, ChunkScheduler,
-                                    ChunkSizeController, ChunkTask,
+                                    CampaignSpec, ChunkTask,
                                     ShardFailure, ShardResult, SweepConfig,
-                                    default_workers, execute_chunk_task,
-                                    merge_shipped_cache)
+                                    build_chunk_scheduler, default_workers,
+                                    execute_chunk_task, merge_shipped_cache)
 
 PROTOCOL_MAGIC = "mcversi-distributed"
 PROTOCOL_VERSION = 1
@@ -108,11 +108,10 @@ IDLE_DELAY = 0.05
 #: a chunk that keeps killing or stalling every worker that touches it
 #: (a poison chunk) must fail the sweep loudly, not livelock it.
 MAX_CHUNK_REQUEUES = 5
-#: The default checkpoint byte budget is this fraction of
-#: ``max_frame_bytes``: the task frame adds the spec and framing overhead
-#: on top of the checkpoint payload, and the budget steers an EWMA, so it
-#: needs generous headroom below the hard frame cap.
-CHECKPOINT_FRAME_FRACTION = 4
+#: Bounded connect retry (workers may start before their coordinator;
+#: see ``--connect-retries``): default backoff seed and its upper clamp.
+DEFAULT_CONNECT_BACKOFF = 0.5
+MAX_CONNECT_BACKOFF = 5.0
 
 
 # ----------------------------------------------------------------------
@@ -190,13 +189,15 @@ def _recv_exact(sock: socket.socket, count: int,
     return b"".join(chunks)
 
 
-def send_frame(sock: socket.socket, message: object,
-               max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-               stall_timeout: float | None = None) -> None:
-    """Send one length-prefixed pickled message.
+def send_raw_frame(sock: socket.socket, payload: bytes,
+                   max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                   stall_timeout: float | None = None) -> None:
+    """Send one length-prefixed payload of already-serialized bytes.
 
-    With ``stall_timeout`` set (and a short socket timeout configured),
-    the transfer is performed in a progress loop: each ``send`` tick may
+    The codec-agnostic half of :func:`send_frame` — the verification
+    service frames restricted-codec payloads through here.  With
+    ``stall_timeout`` set (and a short socket timeout configured), the
+    transfer is performed in a progress loop: each ``send`` tick may
     time out and retry, and only ``stall_timeout`` seconds with *zero*
     bytes accepted aborts the send.  This lets large (checkpoint-sized)
     frames cross slow links without touching the socket's polling
@@ -204,7 +205,6 @@ def send_frame(sock: socket.socket, message: object,
     the same socket.  Without it, a plain ``sendall`` is used, whose
     total duration is capped by the socket timeout.
     """
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) > max_frame_bytes:
         raise FrameTooLargeError(
             f"refusing to send a {len(payload)}-byte frame "
@@ -231,6 +231,39 @@ def send_frame(sock: socket.socket, message: object,
             last_progress = time.monotonic()
 
 
+def recv_raw_frame(sock: socket.socket,
+                   max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                   idle_ok: bool = False,
+                   stall_timeout: float | None = None) -> bytes:
+    """Receive one length-prefixed payload, undecoded.
+
+    The codec-agnostic half of :func:`recv_frame`: all the framing
+    guarantees (oversize rejection, truncation/stall detection, clean
+    EOF) with the payload bytes handed back verbatim for the caller's
+    codec to interpret.
+    """
+    header = _recv_exact(sock, _HEADER.size, idle_ok=idle_ok,
+                         stall_timeout=stall_timeout)
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"peer announced a {length}-byte frame "
+            f"(max_frame_bytes={max_frame_bytes})")
+    return _recv_exact(sock, length, stall_timeout=stall_timeout)
+
+
+def send_frame(sock: socket.socket, message: object,
+               max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+               stall_timeout: float | None = None) -> None:
+    """Send one length-prefixed pickled message (trusted-cluster framing).
+
+    See :func:`send_raw_frame` for the transfer semantics.
+    """
+    send_raw_frame(sock,
+                   pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL),
+                   max_frame_bytes, stall_timeout=stall_timeout)
+
+
 def recv_frame(sock: socket.socket,
                max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                idle_ok: bool = False,
@@ -244,14 +277,8 @@ def recv_frame(sock: socket.socket,
     :class:`ProtocolError` on an undecodable payload — never hangs on a
     malformed peer.
     """
-    header = _recv_exact(sock, _HEADER.size, idle_ok=idle_ok,
-                         stall_timeout=stall_timeout)
-    (length,) = _HEADER.unpack(header)
-    if length > max_frame_bytes:
-        raise FrameTooLargeError(
-            f"peer announced a {length}-byte frame "
-            f"(max_frame_bytes={max_frame_bytes})")
-    payload = _recv_exact(sock, length, stall_timeout=stall_timeout)
+    payload = recv_raw_frame(sock, max_frame_bytes, idle_ok=idle_ok,
+                             stall_timeout=stall_timeout)
     try:
         return pickle.loads(payload)
     except Exception as error:
@@ -394,34 +421,18 @@ class Coordinator:
                  ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
-        if max_checkpoint_bytes is not None and chunk_evaluations is None:
-            # Same contract as iter_campaigns: without chunking no
-            # checkpoint is ever serialized, so a budget would be
-            # silently inert — reject it instead of luring the operator
-            # into thinking oversized frames are handled.
-            raise ValueError("max_checkpoint_bytes budgets resumable "
-                             "chunks; it needs chunk_evaluations (an "
-                             "unchunked shard never serializes a "
-                             "checkpoint)")
-        if max_checkpoint_bytes is None and chunk_evaluations is not None:
-            # Leave framing headroom: the task frame carries the spec and
-            # tuple overhead on top of the checkpoint payload, and the
-            # budget is a soft EWMA-driven target, not a hard cap.
-            max_checkpoint_bytes = max(1, max_frame_bytes
-                                       // CHECKPOINT_FRAME_FRACTION)
-        controller = ChunkSizeController(
-            mode=chunk_sizing, chunk_evaluations=chunk_evaluations,
-            target_chunk_seconds=target_chunk_seconds,
-            max_checkpoint_bytes=max_checkpoint_bytes)
-        # Cache shipments share each task frame with the spec and resume
-        # checkpoint; cap them at the checkpoint budget's fraction so a
-        # full cache can never push a frame over ``max_frame_bytes``.
-        self._scheduler = ChunkScheduler(
-            specs, chunk_evaluations, controller=controller,
-            verdict_memo=verdict_memo,
-            max_cache_bytes=max(1, max_frame_bytes
-                                // CHECKPOINT_FRAME_FRACTION),
-            checker_backend=checker_backend)
+        # Byte-budget derivation (checkpoint budget, cache-shipment cap)
+        # lives in build_chunk_scheduler, shared with the verification
+        # service so recovered sweeps re-derive the identical scheduler.
+        self._scheduler = build_chunk_scheduler(
+            specs,
+            SweepConfig(chunk_evaluations=chunk_evaluations,
+                        chunk_sizing=chunk_sizing,
+                        target_chunk_seconds=target_chunk_seconds,
+                        max_checkpoint_bytes=max_checkpoint_bytes,
+                        verdict_memo=verdict_memo,
+                        checker_backend=checker_backend,
+                        max_frame_bytes=max_frame_bytes))
         self._lease_timeout = lease_timeout
         self._max_frame_bytes = max_frame_bytes
         self._hosts_out = hosts_out
@@ -583,6 +594,10 @@ class Coordinator:
         name = "<unknown>"
         try:
             name = self._handshake(connection)
+            if name is None:
+                # Drained during the handshake: the worker was told to
+                # shut down cleanly — not a disconnect, never a lease.
+                return
             with self._lock:
                 self.stats.workers_seen.add(name)
             while True:
@@ -624,7 +639,14 @@ class Coordinator:
                 if connection in self._connections:
                     self._connections.remove(connection)
 
-    def _handshake(self, connection: socket.socket) -> str:
+    def _handshake(self, connection: socket.socket) -> str | None:
+        """Validate a hello; ``None``: drained — worker was shut down cleanly.
+
+        A worker that connects while the coordinator is draining gets a
+        clean ``("shutdown",)`` frame in place of the welcome (and exits
+        normally) instead of an error teardown — and, crucially, is
+        never handed a task whose lease nothing would ever collect.
+        """
         # A connected peer that never sends a hello (a port probe, a
         # monitoring check, a stray `nc`) must not pin this handler — and
         # must not count as an active worker forever, which would defeat
@@ -637,8 +659,13 @@ class Coordinator:
                                    stall_timeout=self._handshake_timeout)
                 break
             except _IdleTimeout:
-                if (time.monotonic() > deadline
-                        or self._draining.is_set()):
+                if self._draining.is_set():
+                    # Draining with no hello yet: tell the peer (a late
+                    # worker, most likely) to shut down rather than
+                    # leaving it to time out against a dead port.
+                    send_frame(connection, ("shutdown",))
+                    return None
+                if time.monotonic() > deadline:
                     raise ProtocolError(
                         "peer sent no hello within the handshake "
                         f"timeout ({self._handshake_timeout}s)") from None
@@ -653,6 +680,12 @@ class Coordinator:
                 f"{PROTOCOL_VERSION}, worker speaks {hello[2]}"))
             raise ProtocolError(f"worker protocol version {hello[2]} != "
                                 f"{PROTOCOL_VERSION}")
+        if self._draining.is_set():
+            # Late-handshake drain race: a valid worker arrived after
+            # close() began.  Shut it down cleanly instead of welcoming
+            # it into a sweep that is already over.
+            send_frame(connection, ("shutdown",))
+            return None
         send_frame(connection, ("welcome", PROTOCOL_MAGIC, PROTOCOL_VERSION,
                                 self._scheduler.total))
         return str(hello[3])
@@ -789,10 +822,36 @@ class WorkerStats:
     shards_completed: int = 0
 
 
+def connect_with_backoff(address: object, connect_retries: int = 0,
+                         connect_backoff: float = DEFAULT_CONNECT_BACKOFF,
+                         timeout: float = 30.0) -> socket.socket:
+    """Connect to a coordinator/service, retrying while it comes up.
+
+    Bounded exponential backoff (doubling from ``connect_backoff``,
+    clamped at :data:`MAX_CONNECT_BACKOFF`) over ``connect_retries``
+    re-attempts, so workers may be launched *before* the server binds —
+    the service-started-last bringup order.  The final failure
+    propagates as the underlying ``OSError``.
+    """
+    host, port = parse_address(address)
+    attempt = 0
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=timeout)
+        except OSError:
+            if attempt >= connect_retries:
+                raise
+            time.sleep(min(connect_backoff * (2 ** attempt),
+                           MAX_CONNECT_BACKOFF))
+            attempt += 1
+
+
 def run_worker(address: object, name: str | None = None,
                heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
                max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                response_timeout: float = DEFAULT_RESPONSE_TIMEOUT,
+               connect_retries: int = 0,
+               connect_backoff: float = DEFAULT_CONNECT_BACKOFF,
                chaos_die_after_chunks: int | None = None,
                chaos_hang_after_chunks: int | None = None) -> WorkerStats:
     """Connect to a coordinator and pull chunks until told to shut down.
@@ -800,16 +859,19 @@ def run_worker(address: object, name: str | None = None,
     The heartbeat thread keeps the worker's lease alive while a chunk
     computes; a coordinator that stops replying for ``response_timeout``
     seconds (silent host death, network partition) makes the worker exit
-    with an error instead of blocking forever.  The two ``chaos_*`` hooks
+    with an error instead of blocking forever.  ``connect_retries`` >
+    0 retries a refused/unreachable initial connect with exponential
+    backoff (seeded by ``connect_backoff``), so the worker may be
+    started before its coordinator.  The two ``chaos_*`` hooks
     exist for the fault-tolerance test battery: after ``N`` completed
     chunks the worker either dies abruptly on its next assignment
     (``os._exit``, like a SIGKILL — the coordinator sees the connection
     drop) or hangs silently without heartbeating (the coordinator sees
     the lease expire).
     """
-    host, port = parse_address(address)
     worker_name = name or f"{socket.gethostname()}-{os.getpid()}"
-    sock = socket.create_connection((host, port), timeout=30.0)
+    sock = connect_with_backoff(address, connect_retries=connect_retries,
+                                connect_backoff=connect_backoff)
     sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
     sock.settimeout(0.5)
     send_lock = threading.Lock()
@@ -851,6 +913,11 @@ def run_worker(address: object, name: str | None = None,
         welcome = recv_reply()
         if isinstance(welcome, tuple) and welcome and welcome[0] == "error":
             raise ProtocolError(f"coordinator rejected worker: {welcome[1]}")
+        if isinstance(welcome, tuple) and welcome \
+                and welcome[0] == "shutdown":
+            # The coordinator is already draining (late-handshake race):
+            # a clean no-work shutdown, not an error.
+            return stats
         if (not isinstance(welcome, tuple) or len(welcome) != 4
                 or welcome[0] != "welcome" or welcome[1] != PROTOCOL_MAGIC):
             raise ProtocolError("coordinator did not send a valid welcome")
@@ -1175,7 +1242,9 @@ def _worker_main(args: argparse.Namespace) -> int:
         raise SystemExit(str(error)) from None
     chaos = dict(chaos_die_after_chunks=args.chaos_die_after_chunks,
                  chaos_hang_after_chunks=args.chaos_hang_after_chunks,
-                 max_frame_bytes=args.max_frame_bytes)
+                 max_frame_bytes=args.max_frame_bytes,
+                 connect_retries=args.connect_retries,
+                 connect_backoff=args.connect_backoff)
     if count == 1:
         stats = run_worker(args.connect, name=args.name,
                            heartbeat_interval=args.heartbeat_interval,
@@ -1283,6 +1352,15 @@ def build_parser() -> argparse.ArgumentParser:
                         default=DEFAULT_MAX_FRAME_BYTES,
                         help="hard cap on one wire frame (match the "
                              "coordinator's value)")
+    worker.add_argument("--connect-retries", type=int, default=0,
+                        help="re-attempts if the coordinator is not up "
+                             "yet (exponential backoff; lets workers be "
+                             "launched before the coordinator/service)")
+    worker.add_argument("--connect-backoff", type=float,
+                        default=DEFAULT_CONNECT_BACKOFF,
+                        help="initial retry backoff in seconds (doubles "
+                             f"per attempt, capped at "
+                             f"{MAX_CONNECT_BACKOFF:g}s)")
     worker.add_argument("--chaos-die-after-chunks", type=int, default=None,
                         help="fault-tolerance testing: die abruptly (like "
                              "SIGKILL) on the next assignment after N chunks")

@@ -62,6 +62,14 @@ class ExperimentSettings:
     The orchestration fields mirror :class:`repro.harness.parallel
     .SweepConfig` one-for-one; :meth:`sweep_config` builds the config
     object that :meth:`run_matrix` forwards.
+
+    ``service`` routes the matrix through a running *verification
+    service* instead of any local transport: set it to the service's
+    job-API address (``"host:port"``) and :meth:`run_matrix` submits the
+    matrix as a job via :class:`repro.harness.service.ServiceClient`
+    (``service_token`` authenticates when the service requires it).
+    Per-shard results are bit-identical to every other transport; the
+    sweep additionally survives service restarts (the durable store).
     """
 
     generator_config: GeneratorConfig
@@ -82,6 +90,8 @@ class ExperimentSettings:
     max_frame_bytes: int | None = None
     verdict_memo: bool = False
     checker_backend: str = "auto"
+    service: str | None = None
+    service_token: str | None = None
 
     def with_memory(self, memory_kib: int) -> "ExperimentSettings":
         memory = TestMemoryLayout.kib(memory_kib)
@@ -107,6 +117,13 @@ class ExperimentSettings:
                    on_result: Callable[[ShardResult], None] | None = None,
                    progress: bool = False):
         """Run a shard matrix through the orchestrator with these settings."""
+        if self.service is not None:
+            from repro.harness.service import ServiceClient
+            client = ServiceClient(self.service, token=self.service_token)
+            callback = ((lambda index, shard: on_result(shard))
+                        if on_result is not None else None)
+            return client.run(specs, self.sweep_config(),
+                              on_result=callback)
         return run_campaigns(specs, workers=self.workers,
                              config=self.sweep_config(),
                              on_result=on_result, progress=progress)

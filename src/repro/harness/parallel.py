@@ -112,9 +112,10 @@ import pickle
 import queue
 import time
 from collections import deque
-from dataclasses import dataclass, field, replace
+from dataclasses import (asdict, dataclass, field,
+                         fields as dataclass_fields, replace)
 from statistics import mean
-from typing import Callable, Iterator, TextIO
+from typing import Callable, Iterable, Iterator, Mapping, TextIO
 
 from repro.consistency.checker import BACKENDS, resolve_backend_name
 from repro.consistency.memo import (DEFAULT_CACHE_CAPACITY, VerdictCache,
@@ -504,6 +505,12 @@ DEFAULT_MAX_CHUNK_GROWTH = 32
 #: small; between it and the cap, chunk sizes scale down linearly toward
 #: ``min_chunk_evaluations``.
 BYTE_BUDGET_SOFT_FRACTION = 0.5
+#: The default checkpoint byte budget is this fraction of a transport's
+#: ``max_frame_bytes``: the task frame adds the spec and framing
+#: overhead on top of the checkpoint payload, and the budget steers an
+#: EWMA, so it needs generous headroom below the hard frame cap.  (Also
+#: the fraction capping one verdict-cache shipment.)
+CHECKPOINT_FRAME_FRACTION = 4
 
 
 def sizing_key(spec: CampaignSpec) -> tuple:
@@ -1045,6 +1052,138 @@ class ChunkScheduler:
             evictions=self.cache_evictions,
             seconds_saved=self.cache_seconds_saved)
 
+    # -- durable snapshot / restore ------------------------------------
+
+    def progress_snapshot(self) -> "SchedulerProgress":
+        """The durable image of this sweep's progress, as opaque bytes.
+
+        ``completed`` indices plus the serialized resume checkpoint of
+        every *queued* continuation (outstanding chunks are excluded on
+        purpose: their workers have not reported, so their last durable
+        state is whatever checkpoint their task was dispatched with, and
+        re-running from there replays bit-identically).  Together with
+        the per-shard results a store keeps, this is exactly what
+        :meth:`restore_progress` needs to resume the sweep.
+        """
+        checkpoints: dict[int, bytes] = {}
+        for task in self._queue:
+            state = task.checkpoint
+            if isinstance(state, ChunkPayload):
+                checkpoints[task.index] = state.data
+            elif state is not None:
+                checkpoints[task.index] = pickle.dumps(
+                    state, protocol=pickle.HIGHEST_PROTOCOL)
+        cache_state = None
+        if self.verdict_cache is not None:
+            cache_state = pickle.dumps(self.verdict_cache.snapshot(),
+                                       protocol=pickle.HIGHEST_PROTOCOL)
+        return SchedulerProgress(completed=frozenset(self._completed),
+                                 checkpoints=dict(checkpoints),
+                                 cache_state=cache_state)
+
+    def restore_progress(self, completed: Iterable[int],
+                         checkpoints: Mapping[int, bytes],
+                         cache_state: bytes | None = None) -> None:
+        """Rebuild mid-sweep progress on a *fresh* scheduler.
+
+        The durable-store recovery path: ``completed`` shards are marked
+        done (their queued fresh tasks dropped), every index in
+        ``checkpoints`` resumes from its :class:`ChunkPayload` bytes
+        verbatim, and ``cache_state`` (a pickled
+        :class:`~repro.consistency.memo.VerdictCacheState`, trusted —
+        it came from this process's own store, never from a worker)
+        re-seeds the sweep-wide verdict cache.  A ``completed`` index
+        wins over a stale checkpoint for the same shard.  Calling this
+        after any dispatch or record raises: recovery happens before
+        the scheduler is ever offered to workers.
+        """
+        if (self._completed or self._outstanding
+                or len(self._queue) != len(self.specs)):
+            raise RuntimeError("restore_progress() needs a fresh "
+                               "scheduler: no dispatches or records yet")
+        completed_set = set(completed)
+        unknown = (completed_set | set(checkpoints)) \
+            - set(range(len(self.specs)))
+        if unknown:
+            raise ValueError(f"restore_progress() got shard indices "
+                             f"{sorted(unknown)} outside the sweep's "
+                             f"0..{len(self.specs) - 1}")
+        rebuilt: deque[ChunkTask] = deque()
+        for task in self._queue:
+            if task.index in completed_set:
+                self._queued.discard(task.index)
+                continue
+            data = checkpoints.get(task.index)
+            if data is not None:
+                task = replace(task, checkpoint=ChunkPayload(data))
+            rebuilt.append(task)
+        self._queue = rebuilt
+        self._completed = completed_set
+        if cache_state is not None and self.verdict_cache is not None:
+            self.verdict_cache.merge(pickle.loads(cache_state))
+
+
+@dataclass(frozen=True)
+class SchedulerProgress:
+    """A :meth:`ChunkScheduler.progress_snapshot` image (durable unit)."""
+
+    completed: frozenset[int]
+    #: shard index -> serialized resume-checkpoint (:class:`ChunkPayload`
+    #: bytes) of each queued continuation.
+    checkpoints: dict[int, bytes]
+    #: pickled :class:`~repro.consistency.memo.VerdictCacheState`
+    #: (``None`` when memoization is off).
+    cache_state: bytes | None = None
+
+
+def build_chunk_scheduler(specs: list[CampaignSpec], config: SweepConfig,
+                          default_max_frame_bytes: int | None = None
+                          ) -> ChunkScheduler:
+    """Build the :class:`ChunkScheduler` a :class:`SweepConfig` describes.
+
+    The single mapping point shared by the TCP coordinator and the
+    verification service (:mod:`repro.harness.service`): checkpoint and
+    cache-shipment byte budgets are derived from the frame cap
+    (``config.max_frame_bytes``, falling back to
+    ``default_max_frame_bytes`` — the transport's default cap) exactly
+    like :class:`repro.harness.distributed.Coordinator` always did, so a
+    sweep recovered from a durable store re-derives the identical
+    scheduler.
+    """
+    max_frame_bytes = config.max_frame_bytes
+    if max_frame_bytes is None:
+        max_frame_bytes = default_max_frame_bytes
+    max_checkpoint_bytes = config.max_checkpoint_bytes
+    if max_checkpoint_bytes is not None and config.chunk_evaluations is None:
+        # Same contract as iter_campaigns: without chunking no checkpoint
+        # is ever serialized, so a budget would be silently inert.
+        raise ValueError("max_checkpoint_bytes budgets resumable "
+                         "chunks; it needs chunk_evaluations (an "
+                         "unchunked shard never serializes a "
+                         "checkpoint)")
+    if (max_checkpoint_bytes is None and config.chunk_evaluations is not None
+            and max_frame_bytes is not None):
+        # Leave framing headroom: the task frame carries the spec and
+        # tuple overhead on top of the checkpoint payload, and the
+        # budget is a soft EWMA-driven target, not a hard cap.
+        max_checkpoint_bytes = max(1, max_frame_bytes
+                                   // CHECKPOINT_FRAME_FRACTION)
+    controller = ChunkSizeController(
+        mode=config.chunk_sizing,
+        chunk_evaluations=config.chunk_evaluations,
+        target_chunk_seconds=config.target_chunk_seconds,
+        max_checkpoint_bytes=max_checkpoint_bytes)
+    # Cache shipments share each task frame with the spec and resume
+    # checkpoint; cap them at the checkpoint budget's fraction so a full
+    # cache can never push a frame over the cap.
+    max_cache_bytes = (max(1, max_frame_bytes // CHECKPOINT_FRAME_FRACTION)
+                       if max_frame_bytes is not None else None)
+    return ChunkScheduler(specs, config.chunk_evaluations,
+                          controller=controller,
+                          verdict_memo=config.verdict_memo,
+                          max_cache_bytes=max_cache_bytes,
+                          checker_backend=config.checker_backend)
+
 
 # ----------------------------------------------------------------------
 # Matrix construction
@@ -1360,6 +1499,34 @@ class SweepConfig:
     coordinator: object = None
     lease_timeout: float = 30.0
     max_frame_bytes: int | None = None
+
+    def to_json_dict(self) -> dict:
+        """A JSON-portable image of this config (service job API).
+
+        Every field is already a JSON scalar except ``coordinator``,
+        which must be ``None`` or a ``"host:port"`` string here — a
+        ``(host, port)`` tuple caller should format it first.
+        """
+        if self.coordinator is not None \
+                and not isinstance(self.coordinator, str):
+            raise ValueError(
+                "only None or a 'host:port' string coordinator is "
+                f"JSON-portable, got {self.coordinator!r}")
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping) -> "SweepConfig":
+        """Rebuild a config from :meth:`to_json_dict` output.
+
+        Unknown keys raise ``ValueError`` (a client speaking a newer
+        config schema should fail loudly, not silently drop knobs).
+        """
+        known = {entry.name for entry in dataclass_fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown SweepConfig field(s) {sorted(unknown)}")
+        return cls(**dict(data))
 
 
 def _resolve_sweep_config(config: SweepConfig | None,

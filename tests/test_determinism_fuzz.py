@@ -37,6 +37,16 @@ serial, work-stealing and loopback-TCP paths.  And the ``*-config``
 modes run the same sweeps through ``config=SweepConfig(...)`` instead
 of legacy kwargs — the two configuration surfaces must be bit-for-bit
 interchangeable.
+
+The ``durable-*`` modes route the same matrices through the
+verification service (:func:`repro.harness.service.run_service_sweep`):
+a job submitted to a store-backed service, pulled by authenticated
+workers, write-through committed chunk by chunk — and, in the crash
+variants, SIGKILL-equivalently interrupted at a fuzzed commit-window
+point and resumed by a restarted service over the same store.  Durable,
+restricted-codec and crash-resumed sweeps must all be bit-identical to
+serial: durability and recovery are not allowed to move a single
+reported bit.
 """
 
 import random
@@ -49,6 +59,7 @@ from repro.core.campaign import GeneratorKind
 from repro.core.config import GeneratorConfig
 from repro.harness.parallel import (SweepConfig, campaign_matrix,
                                     run_campaigns)
+from repro.harness.service import run_service_sweep
 from repro.sim.config import SystemConfig
 from repro.sim.faults import Fault
 
@@ -199,3 +210,40 @@ def test_all_schedulers_match_serial(fuzz_seed):
             f"fuzz seed {fuzz_seed}: {mode} coverage diverged from serial")
         assert (report.coverage.known_transitions
                 == serial.coverage.known_transitions)
+
+    # Durable-service modes: the same matrix through a store-backed
+    # verification service (in-process worker threads); the crash
+    # variants SIGKILL the service at fuzzed commit-window points and
+    # resume from the store — every report must still equal serial.
+    durable_modes = {
+        "durable": dict(workers=workers,
+                        config=SweepConfig(
+                            chunk_evaluations=chunk_evaluations)),
+    }
+    if fuzz_seed == 0:
+        durable_modes.update({
+            "durable-restricted": dict(
+                workers=workers, codec="restricted",
+                config=SweepConfig(chunk_evaluations=chunk_evaluations)),
+            "durable-memo": dict(
+                workers=workers,
+                config=SweepConfig(chunk_evaluations=chunk_evaluations,
+                                   verdict_memo=True)),
+            "durable-crash-before-commit": dict(
+                workers=workers,
+                config=SweepConfig(chunk_evaluations=chunk_evaluations),
+                crash_point="before-commit", crash_nth=2),
+            "durable-crash-after-commit": dict(
+                workers=workers,
+                config=SweepConfig(chunk_evaluations=chunk_evaluations),
+                crash_point="after-commit", crash_nth=1),
+        })
+    for mode, options in durable_modes.items():
+        report = run_service_sweep(specs, **options)
+        assert outcome_view(report) == reference_outcomes, (
+            f"fuzz seed {fuzz_seed}: {mode} outcomes diverged from serial")
+        assert summary_view(report) == reference_summaries, (
+            f"fuzz seed {fuzz_seed}: {mode} summaries diverged from serial")
+        assert (report.coverage.global_counts
+                == serial.coverage.global_counts), (
+            f"fuzz seed {fuzz_seed}: {mode} coverage diverged from serial")

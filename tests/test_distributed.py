@@ -510,3 +510,101 @@ class TestChaos:
             reap_workers(first + late)
         assert outcomes(report) == outcomes(serial)
         assert len(server.stats.workers_seen) == 2
+
+
+# ----------------------------------------------------------------------
+# Drain race and bringup ordering regressions
+
+
+class TestDrainRace:
+    def test_worker_injected_mid_drain_gets_clean_shutdown(self):
+        # A connection accepted just before close() begins — no hello
+        # sent yet — must receive a clean ("shutdown",) frame, not an
+        # error teardown or a hang against a dead port.
+        coordinator = Coordinator(tiny_matrix()[:1], chunk_evaluations=2,
+                                  handshake_timeout=5.0)
+        sock = socket.create_connection(coordinator.address, timeout=5.0)
+        sock.settimeout(5.0)
+        try:
+            time.sleep(0.2)  # let the handler thread pick the socket up
+            closer = threading.Thread(target=coordinator.close,
+                                      daemon=True)
+            closer.start()
+            assert recv_frame(sock) == ("shutdown",)
+            closer.join(timeout=10.0)
+            assert not closer.is_alive()
+        finally:
+            sock.close()
+
+    def test_late_hello_during_drain_gets_clean_shutdown(self):
+        # The hello lands only after draining has begun: the coordinator
+        # must answer it with shutdown instead of a welcome into a sweep
+        # that is already over.
+        coordinator = Coordinator(tiny_matrix()[:1], chunk_evaluations=2,
+                                  handshake_timeout=5.0)
+        sock = socket.create_connection(coordinator.address, timeout=5.0)
+        sock.settimeout(5.0)
+        try:
+            time.sleep(0.2)
+            coordinator._draining.set()
+            send_frame(sock, ("hello", PROTOCOL_MAGIC, PROTOCOL_VERSION,
+                              "late-worker"))
+            assert recv_frame(sock) == ("shutdown",)
+        finally:
+            sock.close()
+            coordinator.close()
+
+    def test_run_worker_against_draining_coordinator_exits_cleanly(self):
+        # End to end: run_worker connecting into the drain window must
+        # return normally with zero chunks, not raise.
+        coordinator = Coordinator(tiny_matrix()[:1], chunk_evaluations=2,
+                                  handshake_timeout=5.0)
+        coordinator._draining.set()
+        stats = run_worker(coordinator.address, name="drain-prober")
+        assert stats.chunks == 0
+        coordinator.close()
+
+
+class TestBringupOrdering:
+    def test_worker_started_before_coordinator_retries_and_connects(self):
+        # Service-started-last bringup: reserve a port, launch the
+        # worker first, bind the coordinator late; the worker's bounded
+        # connect backoff must carry it through to a full sweep.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        specs = tiny_matrix(faults=(None,), seeds_per_cell=1,
+                            max_evaluations=2)
+        serial = run_campaigns(specs, workers=1)
+        stats_box = {}
+
+        def early_worker():
+            stats_box["stats"] = run_worker(("127.0.0.1", port),
+                                            name="early-bird",
+                                            connect_retries=40,
+                                            connect_backoff=0.05)
+
+        worker = threading.Thread(target=early_worker, daemon=True)
+        worker.start()
+        time.sleep(0.3)  # several refused connects happen in here
+
+        coordinator = Coordinator(specs, chunk_evaluations=2,
+                                  bind=f"127.0.0.1:{port}")
+        accumulator = SweepAccumulator(total=len(specs))
+        for index, shard in coordinator.serve():
+            accumulator.add(index, shard)
+        report = accumulator.finalize()
+        assert outcomes(report) == outcomes(serial)
+        worker.join(timeout=10.0)
+        assert stats_box["stats"].chunks > 0
+
+    def test_exhausted_retries_raise_the_underlying_oserror(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(OSError):
+            run_worker(("127.0.0.1", port), connect_retries=1,
+                       connect_backoff=0.01)

@@ -1,0 +1,517 @@
+"""Restart chaos battery for the durable verification service.
+
+Four layers:
+
+* unit tests for :class:`~repro.harness.store.SweepStore` — the
+  crash-safe SQLite write-through store survives close/reopen with every
+  job, checkpoint, result and verdict-cache snapshot intact;
+* in-process service integration — submitted jobs complete bit-identically
+  to a serial ``run_campaigns`` pass under both codecs, overlapping jobs
+  multiplex one worker pool, results stream by cursor, cancellation and
+  ``/metrics`` work;
+* the crash battery proper — the service is armed to fall silent
+  (SIGKILL-equivalent) at fuzzed crash points (between the scheduler fold
+  and the store commit, after the commit, during drain, with multiple
+  sweeps in flight), restarted over the same store, and every resumed
+  sweep's final report must be **bit-for-bit identical** to an
+  uninterrupted serial run;
+* real-process chaos — the CLI service is killed by
+  ``REPRO_SERVICE_CRASH`` (an ``os._exit(137)`` mid-commit-window, the
+  genuine article), restarted, and the recovered job must finish with
+  the same pinned outcomes over the HTTP job API.
+
+Also pinned here: the late-handshake drain race (a worker whose hello
+lands while the service drains gets a clean shutdown frame, not an error
+teardown) and service-started-last bringup (worker connect retries).
+"""
+
+import json
+import os
+import pickle
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core.campaign import GeneratorKind
+from repro.core.config import GeneratorConfig
+from repro.harness.distributed import recv_raw_frame, send_raw_frame
+from repro.harness.parallel import (SweepConfig, campaign_matrix,
+                                    run_campaigns)
+from repro.harness.service import (CODEC_PICKLE, CODEC_RESTRICTED,
+                                   CRASH_ENV, SERVICE_MAGIC,
+                                   SERVICE_VERSION, ServiceClient,
+                                   VerificationService,
+                                   _start_worker_threads, run_service_sweep,
+                                   run_service_worker)
+from repro.harness.store import (JOB_CANCELLED, JOB_DONE, JOB_RUNNING,
+                                 SweepStore)
+from repro.sim.config import SystemConfig
+from repro.sim.faults import Fault
+
+
+def tiny_config():
+    return GeneratorConfig.quick(memory_kib=1, test_size=32, iterations=2,
+                                 population_size=6)
+
+
+def tiny_matrix(faults=(Fault.SQ_NO_FIFO, None), seeds_per_cell=2,
+                max_evaluations=5, base_seed=7):
+    return campaign_matrix(kinds=[GeneratorKind.MCVERSI_RAND],
+                           faults=list(faults),
+                           generator_config=tiny_config(),
+                           system_config=SystemConfig(),
+                           max_evaluations=max_evaluations,
+                           seeds_per_cell=seeds_per_cell,
+                           base_seed=base_seed)
+
+
+def outcomes(report):
+    return [(shard.result.found, shard.result.evaluations_to_find)
+            for shard in report.shards]
+
+
+CHUNKED = SweepConfig(chunk_evaluations=2)
+
+
+# ----------------------------------------------------------------------
+# Store unit tests
+
+
+class TestSweepStore:
+    def test_job_round_trip_across_reopen(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        store = SweepStore(path)
+        store.create_job("job-a", b"specs-a", b"config-a", total=3)
+        store.commit_outcome("job-a", 0, payload=b"checkpoint-0")
+        store.commit_outcome("job-a", 0, result=b"result-0",
+                             cache_state=b"cache-1")
+        store.commit_outcome("job-a", 2, payload=b"checkpoint-2")
+        store.close()
+
+        reopened = SweepStore(path)
+        assert reopened.jobs() == [("job-a", JOB_RUNNING, 3, None)]
+        assert reopened.job_blobs("job-a") == (b"specs-a", b"config-a")
+        assert reopened.results("job-a") == {0: b"result-0"}
+        assert reopened.checkpoints("job-a") == {2: b"checkpoint-2"}
+        assert reopened.cache_state("job-a") == b"cache-1"
+        reopened.close()
+
+    def test_done_clears_checkpoint(self, tmp_path):
+        store = SweepStore(tmp_path / "store.sqlite")
+        store.create_job("job", b"s", b"c", total=1)
+        store.commit_outcome("job", 0, payload=b"mid-shard")
+        store.commit_outcome("job", 0, result=b"final")
+        rows = list(store.shard_rows("job"))
+        assert rows == [(0, "done", None, b"final")]
+        store.close()
+
+    def test_cache_state_upserts(self, tmp_path):
+        store = SweepStore(tmp_path / "store.sqlite")
+        store.create_job("job", b"s", b"c", total=1)
+        store.commit_outcome("job", 0, payload=b"p1", cache_state=b"v1")
+        store.commit_outcome("job", 0, payload=b"p2", cache_state=b"v2")
+        assert store.cache_state("job") == b"v2"
+        assert store.checkpoints("job") == {0: b"p2"}
+        store.close()
+
+    def test_commit_needs_exactly_one_of_payload_or_result(self, tmp_path):
+        store = SweepStore(tmp_path / "store.sqlite")
+        store.create_job("job", b"s", b"c", total=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            store.commit_outcome("job", 0)
+        with pytest.raises(ValueError, match="exactly one"):
+            store.commit_outcome("job", 0, payload=b"p", result=b"r")
+        store.close()
+
+    def test_job_state_transitions_persist(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        store = SweepStore(path)
+        store.create_job("job", b"s", b"c", total=1)
+        store.set_job_state("job", JOB_CANCELLED)
+        with pytest.raises(ValueError, match="unknown job state"):
+            store.set_job_state("job", "exploded")
+        store.close()
+        reopened = SweepStore(path)
+        assert reopened.jobs()[0][1] == JOB_CANCELLED
+        assert reopened.commits == 0  # per-process counter, not persisted
+        reopened.close()
+
+    def test_unknown_job_raises_key_error(self, tmp_path):
+        store = SweepStore(tmp_path / "store.sqlite")
+        with pytest.raises(KeyError):
+            store.job_blobs("nope")
+        store.close()
+
+
+# ----------------------------------------------------------------------
+# In-process service integration
+
+
+class TestServiceIntegration:
+    @pytest.mark.parametrize("codec", [CODEC_PICKLE, CODEC_RESTRICTED])
+    def test_service_sweep_matches_serial(self, codec):
+        specs = tiny_matrix()
+        serial = run_campaigns(specs, workers=1,
+                               config=CHUNKED)
+        report = run_service_sweep(specs, CHUNKED, workers=2, codec=codec)
+        assert outcomes(report) == outcomes(serial)
+        assert (report.coverage.global_counts
+                == serial.coverage.global_counts)
+
+    def test_overlapping_jobs_multiplex_one_worker_pool(self, tmp_path):
+        specs_a = tiny_matrix(base_seed=7)
+        specs_b = tiny_matrix(base_seed=1001, faults=(None,),
+                              max_evaluations=3)
+        serial_a = run_campaigns(specs_a, workers=1, config=CHUNKED)
+        serial_b = run_campaigns(specs_b, workers=1, config=CHUNKED)
+
+        service = VerificationService(tmp_path / "store.sqlite",
+                                      start_http=False)
+        try:
+            job_a = service.submit_job(specs_a, CHUNKED)
+            job_b = service.submit_job(specs_b, CHUNKED)
+            threads = _start_worker_threads(service.address, 2, None,
+                                            CODEC_PICKLE)
+            deadline = time.monotonic() + 120
+            while any(service.job_status(job)["state"] == JOB_RUNNING
+                      for job in (job_a, job_b)):
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert outcomes(service.job_report(job_a)) == outcomes(serial_a)
+            assert outcomes(service.job_report(job_b)) == outcomes(serial_b)
+        finally:
+            service.close()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+    def test_results_stream_by_cursor_and_cancel(self, tmp_path):
+        service = VerificationService(tmp_path / "store.sqlite",
+                                      start_http=False)
+        try:
+            specs = tiny_matrix()
+            job_id = service.submit_job(specs, CHUNKED)
+            threads = _start_worker_threads(service.address, 2, None,
+                                            CODEC_PICKLE)
+            cursor, streamed = 0, []
+            deadline = time.monotonic() + 120
+            while service.job_status(job_id)["state"] == JOB_RUNNING:
+                assert time.monotonic() < deadline
+                cursor, shards = service.job_results(job_id, since=cursor)
+                streamed.extend(shards)
+                time.sleep(0.02)
+            cursor, shards = service.job_results(job_id, since=cursor)
+            streamed.extend(shards)
+            assert sorted(index for index, _ in streamed) \
+                == list(range(len(specs)))
+
+            # Cancelling a second job stops dispatch for it.
+            other = service.submit_job(tiny_matrix(base_seed=99))
+            service.cancel_job(other)
+            assert service.job_status(other)["state"] == JOB_CANCELLED
+            assert service.store.jobs()[-1][1] == JOB_CANCELLED
+        finally:
+            service.close()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+    def test_metrics_expose_nonzero_counters(self, tmp_path):
+        service = VerificationService(tmp_path / "store.sqlite",
+                                      start_http=False)
+        try:
+            job_id = service.submit_job(tiny_matrix(), CHUNKED)
+            threads = _start_worker_threads(service.address, 2, None,
+                                            CODEC_PICKLE)
+            deadline = time.monotonic() + 120
+            while service.job_status(job_id)["state"] == JOB_RUNNING:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            metrics = {}
+            for line in service.metrics_text().splitlines():
+                if line.startswith("#"):
+                    continue
+                name, value = line.rsplit(" ", 1)
+                metrics[name] = float(value)
+            assert metrics['mcversi_service_jobs{state="done"}'] == 1
+            assert metrics["mcversi_service_shards_completed_total"] \
+                == len(tiny_matrix())
+            assert metrics["mcversi_service_chunks_recorded_total"] > 0
+            assert metrics["mcversi_service_evaluations_total"] > 0
+            assert metrics["mcversi_service_store_commits_total"] > 0
+        finally:
+            service.close()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# The crash battery (in-process SIGKILL equivalents)
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("crash_point,crash_nth", [
+        ("before-commit", 1),
+        ("before-commit", 3),
+        ("after-commit", 1),
+        ("after-commit", 4),
+    ])
+    def test_crash_resume_is_bit_identical(self, crash_point, crash_nth):
+        specs = tiny_matrix()
+        serial = run_campaigns(specs, workers=1, config=CHUNKED)
+        report = run_service_sweep(specs, CHUNKED, workers=2,
+                                   crash_point=crash_point,
+                                   crash_nth=crash_nth)
+        assert outcomes(report) == outcomes(serial)
+        assert (report.coverage.global_counts
+                == serial.coverage.global_counts)
+
+    def test_crash_resume_with_memoized_verdicts(self):
+        config = SweepConfig(chunk_evaluations=2, verdict_memo=True)
+        specs = tiny_matrix()
+        serial = run_campaigns(specs, workers=1, config=config)
+        report = run_service_sweep(specs, config, workers=2,
+                                   crash_point="before-commit",
+                                   crash_nth=2)
+        assert outcomes(report) == outcomes(serial)
+
+    def test_crash_with_two_sweeps_in_flight_loses_neither(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        specs_a = tiny_matrix(base_seed=7)
+        specs_b = tiny_matrix(base_seed=1001, faults=(None,),
+                              max_evaluations=3)
+        serial_a = run_campaigns(specs_a, workers=1, config=CHUNKED)
+        serial_b = run_campaigns(specs_b, workers=1, config=CHUNKED)
+
+        service = VerificationService(store_path, start_http=False)
+        service.arm_crash("after-commit", nth=3)
+        job_a = service.submit_job(specs_a, CHUNKED)
+        job_b = service.submit_job(specs_b, CHUNKED)
+        threads = _start_worker_threads(service.address, 2, None,
+                                        CODEC_PICKLE)
+        deadline = time.monotonic() + 120
+        while not service.crashed:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        service.kill()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+        # Restart over the same store: both jobs must be recovered
+        # mid-flight and resumed to completion.
+        service = VerificationService(store_path, start_http=False)
+        try:
+            assert set(service.job_ids()) == {job_a, job_b}
+            threads = _start_worker_threads(service.address, 2, None,
+                                            CODEC_PICKLE)
+            while any(service.job_status(job)["state"] == JOB_RUNNING
+                      for job in (job_a, job_b)):
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert outcomes(service.job_report(job_a)) == outcomes(serial_a)
+            assert outcomes(service.job_report(job_b)) == outcomes(serial_b)
+        finally:
+            service.close()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+    def test_crash_during_drain_recovers(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        specs = tiny_matrix(faults=(None,), seeds_per_cell=1,
+                            max_evaluations=2)
+        service = VerificationService(store_path, start_http=False)
+        job_id = service.submit_job(specs, CHUNKED)
+        service.arm_crash("drain", nth=1)
+        service.close()  # dies mid-drain; the job stays running in store
+        assert service.crashed
+
+        restarted = VerificationService(store_path, start_http=False)
+        try:
+            assert restarted.job_status(job_id)["state"] == JOB_RUNNING
+            threads = _start_worker_threads(restarted.address, 2, None,
+                                            CODEC_PICKLE)
+            deadline = time.monotonic() + 120
+            while restarted.job_status(job_id)["state"] == JOB_RUNNING:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            serial = run_campaigns(specs, workers=1, config=CHUNKED)
+            assert outcomes(restarted.job_report(job_id)) \
+                == outcomes(serial)
+        finally:
+            restarted.close()
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+    def test_completed_jobs_survive_restart(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        specs = tiny_matrix(faults=(None,), seeds_per_cell=1,
+                            max_evaluations=2)
+        serial = run_campaigns(specs, workers=1, config=CHUNKED)
+        report = run_service_sweep(specs, CHUNKED, workers=2,
+                                   store_path=store_path)
+        assert outcomes(report) == outcomes(serial)
+
+        # A fresh service over the same store serves the finished job's
+        # results without any worker ever connecting.
+        service = VerificationService(store_path, start_http=False)
+        try:
+            (job_id,) = service.job_ids()
+            assert service.job_status(job_id)["state"] == JOB_DONE
+            assert outcomes(service.job_report(job_id)) == outcomes(serial)
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Drain race and bringup ordering
+
+
+class TestDrainAndBringup:
+    def test_late_hello_during_drain_gets_clean_shutdown(self, tmp_path):
+        service = VerificationService(tmp_path / "store.sqlite",
+                                      handshake_timeout=5.0,
+                                      start_http=False)
+        sock = socket.create_connection(service.address, timeout=5.0)
+        sock.settimeout(5.0)
+        try:
+            challenge = pickle.loads(recv_raw_frame(sock, 1 << 20))
+            assert challenge[0] == "challenge"
+            # The drain starts while this worker's hello is still in
+            # flight: it must receive a clean shutdown frame, not an
+            # error teardown or a hang.
+            closer = threading.Thread(target=service.close, daemon=True)
+            closer.start()
+            time.sleep(0.1)
+            send_raw_frame(sock, pickle.dumps(
+                ("hello", SERVICE_MAGIC, SERVICE_VERSION, "late", "")),
+                1 << 20)
+            reply = pickle.loads(recv_raw_frame(sock, 1 << 20))
+            assert reply == ("shutdown",)
+            closer.join(timeout=10.0)
+            assert not closer.is_alive()
+        finally:
+            sock.close()
+
+    def test_worker_started_before_service_retries_and_connects(
+            self, tmp_path):
+        # Reserve a port, then bring the worker up FIRST: its bounded
+        # connect backoff must carry it through to the late service.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        stats_box = {}
+
+        def early_worker():
+            stats_box["stats"] = run_service_worker(
+                ("127.0.0.1", port), connect_retries=40,
+                connect_backoff=0.05)
+
+        worker = threading.Thread(target=early_worker, daemon=True)
+        worker.start()
+        time.sleep(0.3)  # several refused connects happen in here
+
+        service = VerificationService(tmp_path / "store.sqlite",
+                                      bind=f"127.0.0.1:{port}",
+                                      start_http=False)
+        try:
+            specs = tiny_matrix(faults=(None,), seeds_per_cell=1,
+                                max_evaluations=2)
+            job_id = service.submit_job(specs, CHUNKED)
+            deadline = time.monotonic() + 120
+            while service.job_status(job_id)["state"] == JOB_RUNNING:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            serial = run_campaigns(specs, workers=1, config=CHUNKED)
+            assert outcomes(service.job_report(job_id)) == outcomes(serial)
+        finally:
+            service.close()
+        worker.join(timeout=10.0)
+        assert stats_box["stats"].chunks > 0
+
+
+# ----------------------------------------------------------------------
+# Real-process chaos: kill -9 the CLI service, restart, finish
+
+
+def _spawn_serve(store_path, env=None):
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = "src"
+    environment.pop(CRASH_ENV, None)
+    if env:
+        environment.update(env)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.service", "serve",
+         "--store", str(store_path),
+         "--bind", "127.0.0.1:0", "--http-bind", "127.0.0.1:0"],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=environment, stdout=subprocess.PIPE, text=True)
+    header = json.loads(process.stdout.readline())
+    return process, header
+
+
+def _spawn_worker(address, count=2):
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = "src"
+    return [subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.service", "worker",
+         "--connect", address, "--name", f"chaos-worker-{index}",
+         "--connect-retries", "40", "--connect-backoff", "0.1"],
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        env=environment, stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL) for index in range(count)]
+
+
+def _reap(processes, timeout=20.0):
+    for process in processes:
+        try:
+            process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=5.0)
+
+
+class TestSubprocessChaos:
+    def test_kill_nine_mid_commit_window_loses_nothing(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        specs = tiny_matrix()
+        serial = run_campaigns(specs, workers=1, config=CHUNKED)
+
+        # Phase 1: a service armed to die (os._exit(137)) right before
+        # its 4th store commit, with a real sweep in flight.
+        doomed, header = _spawn_serve(store_path,
+                                      env={CRASH_ENV: "before-commit:4"})
+        workers = []
+        try:
+            client = ServiceClient(header["http"])
+            job_id = client.submit_specs(specs, CHUNKED)
+            workers = _spawn_worker(header["worker"])
+            doomed.wait(timeout=120)
+            assert doomed.returncode == 137
+        finally:
+            if doomed.poll() is None:
+                doomed.send_signal(signal.SIGKILL)
+            _reap([doomed] + workers)
+
+        # Phase 2: restart over the same store; the job must be
+        # recovered, resumed and completed with the pinned outcomes.
+        revived, header = _spawn_serve(store_path)
+        workers = []
+        try:
+            client = ServiceClient(header["http"])
+            assert header["jobs"] == 1
+            workers = _spawn_worker(header["worker"])
+            status = client.wait(job_id, timeout=120)
+            assert status["state"] == JOB_DONE
+            report = client.fetch_report(job_id)
+            assert outcomes(report) == outcomes(serial)
+            metrics = client.metrics()
+            assert 'mcversi_service_jobs{state="done"} 1' in metrics
+            assert "mcversi_service_store_commits_total 0" not in metrics
+        finally:
+            revived.terminate()
+            _reap([revived] + workers)
