@@ -48,7 +48,7 @@ def main() -> None:
 
     print("\nslot  parent1              parent2              child")
     for index in range(len(child)):
-        def fmt(slots):
+        def fmt(slots, index=index):
             pid, op = slots[index]
             address = f"{op.address:#x}" if op.address is not None else "-"
             return f"P{pid} {op.kind.value:<13s} {address:>8s}"
@@ -56,12 +56,13 @@ def main() -> None:
         if child.slots[index][1].kind != parent1.slots[index][1].kind or \
                 child.slots[index][0] != parent1.slots[index][0] or \
                 child.slots[index][1].address != parent1.slots[index][1].address:
-            if child.slots[index][0] == parent2.slots[index][0] and \
-                    child.slots[index][1].kind == parent2.slots[index][1].kind and \
-                    child.slots[index][1].address == parent2.slots[index][1].address:
-                origin = "  (from 2)"
-            else:
-                origin = "  (mutated)"
+            from_parent2 = (
+                child.slots[index][0] == parent2.slots[index][0]
+                and child.slots[index][1].kind
+                == parent2.slots[index][1].kind
+                and child.slots[index][1].address
+                == parent2.slots[index][1].address)
+            origin = "  (from 2)" if from_parent2 else "  (mutated)"
         print(f"{index:>4d}  {fmt(parent1.slots)}  {fmt(parent2.slots)}  "
               f"{fmt(child.slots)}{origin}")
 

@@ -1,0 +1,30 @@
+"""repro-lint: static invariant analysis for the McVerSi reproduction.
+
+Three rule families keep the verifier's hand-maintained invariants
+machine-checked: determinism lint (``DET*``), wire-safety lint
+(``WIRE*``) and lock-discipline analysis (``LOCK*``).  Run with
+``python -m repro.analysis``; see ``docs/analysis.md`` for the rule
+catalog and the ``# repro: allow[CODE]`` pragma syntax.
+"""
+
+from repro.analysis.core import (AnalysisContext, Finding, ModuleInfo,
+                                 Rule, all_rules, collect_files,
+                                 module_relpath, register_rule,
+                                 run_analysis)
+from repro.analysis.report import (render_json, render_sarif,
+                                   render_text)
+
+__all__ = [
+    "AnalysisContext",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "module_relpath",
+    "register_rule",
+    "run_analysis",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

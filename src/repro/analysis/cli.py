@@ -1,0 +1,93 @@
+"""Command line entry: ``python -m repro.analysis [paths ...]``.
+
+Exit codes: ``0`` clean (or findings without ``--strict``), ``1``
+unsuppressed findings under ``--strict``, ``2`` usage/IO errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.core import all_rules, run_analysis
+from repro.analysis.report import render_json, render_sarif, render_text
+
+DEFAULT_PATHS = ["src/repro"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: determinism, wire-safety and "
+                    "lock-discipline analysis for the McVerSi "
+                    "reproduction")
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to analyze (default: src/repro)")
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="write the report to FILE instead of stdout")
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 if any unsuppressed finding remains")
+    parser.add_argument(
+        "--include-suppressed", action="store_true",
+        help="report pragma-suppressed findings too (marked)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in sorted(all_rules(), key=lambda rule: rule.code):
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    select = None
+    if options.select:
+        select = {code.strip().upper()
+                  for code in options.select.split(",") if code.strip()}
+        known = {rule.code for rule in all_rules()}
+        unknown = select - known
+        if unknown:
+            print(f"error: unknown rule code(s): "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    paths = options.paths or DEFAULT_PATHS
+    try:
+        findings = run_analysis(
+            paths, select=select,
+            include_suppressed=options.include_suppressed)
+    except (OSError, ValueError, SyntaxError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if options.format == "text":
+        report = render_text(findings)
+    elif options.format == "json":
+        report = render_json(findings)
+    else:
+        report = render_sarif(findings, all_rules())
+
+    if options.output:
+        with open(options.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+    else:
+        sys.stdout.write(report)
+
+    active = [finding for finding in findings if not finding.suppressed]
+    if options.strict and active:
+        return 1
+    return 0

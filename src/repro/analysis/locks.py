@@ -1,0 +1,201 @@
+"""Lock-discipline analysis (LOCK rules).
+
+Static half of the convention defined in :mod:`repro.locking`: a class
+declares its guarded fields with ``@guarded_by("_lock", "_queue", ...)``
+and the analyzer proves every access to a guarded field happens either
+lexically inside ``with self._lock:`` or in a method marked
+``@requires_lock("_lock")`` (whose callers the runtime checks when
+tracing is armed).  ``__init__`` is exempt — the instance is not yet
+shared.
+
+LOCK001  guarded attribute accessed outside the guarding lock's scope.
+LOCK002  ``guarded_by`` names a field the class never assigns (typo).
+LOCK003  a class on the required-guarded list carries no ``guarded_by``
+         declaration.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (AnalysisContext, Finding, ModuleInfo,
+                                 REQUIRED_GUARDED_CLASSES, Rule,
+                                 decorator_call, is_self_attr,
+                                 register_rule, str_args)
+
+#: Methods where guarded fields may be touched without the lock: the
+#: instance is under construction and unshared.
+CONSTRUCTION_METHODS = {"__init__", "__new__", "__post_init__",
+                        "__setstate__", "__reduce__"}
+
+
+def _guarded_map(node: ast.ClassDef,
+                 context: AnalysisContext) -> dict[str, str]:
+    """``field -> lock attr`` for *node*, including base classes found
+    in the analyzed set (nearest declaration wins)."""
+    guarded: dict[str, str] = {}
+    for base in node.bases:
+        base_name = None
+        if isinstance(base, ast.Name):
+            base_name = base.id
+        elif isinstance(base, ast.Attribute):
+            base_name = base.attr
+        located = context.classes.get(base_name) if base_name else None
+        if located is not None and located[1] is not node:
+            guarded.update(_guarded_map(located[1], context))
+    for decorator in node.decorator_list:
+        call = decorator_call(decorator, "guarded_by")
+        if call is not None:
+            names = str_args(call)
+            if names:
+                lock_attr, *fields = names
+                for field in fields:
+                    guarded[field] = lock_attr
+    return guarded
+
+
+def _requires_lock_attr(fn: ast.FunctionDef) -> str | None:
+    for decorator in fn.decorator_list:
+        call = decorator_call(decorator, "requires_lock")
+        if call is not None:
+            names = str_args(call)
+            if names:
+                return names[0]
+    return None
+
+
+class _ScopeChecker(ast.NodeVisitor):
+    """Walk one method body tracking which lock attrs are lexically
+    held; flag guarded-field accesses outside their lock's scope."""
+
+    def __init__(self, guarded: dict[str, str], held: set[str],
+                 module: ModuleInfo, method: str,
+                 findings: list[Finding]) -> None:
+        self.guarded = guarded
+        self.held = held
+        self.module = module
+        self.method = method
+        self.findings = findings
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = []
+        for item in node.items:
+            # Guarded accesses in the context expression itself run
+            # before the acquire — visit them under the current scope.
+            self.visit(item.context_expr)
+            expr = item.context_expr
+            if is_self_attr(expr) and expr.attr not in self.held:
+                acquired.append(expr.attr)
+                self.held.add(expr.attr)
+        for statement in node.body:
+            self.visit(statement)
+        for attr in acquired:
+            self.held.discard(attr)
+
+    visit_AsyncWith = visit_With
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if is_self_attr(node):
+            lock_attr = self.guarded.get(node.attr)
+            if lock_attr is not None and lock_attr not in self.held:
+                self.findings.append(Finding(
+                    "LOCK001", self.module.path, node.lineno,
+                    node.col_offset,
+                    f"guarded field `self.{node.attr}` accessed in "
+                    f"{self.method}() outside `with self.{lock_attr}:` "
+                    f"(declare @requires_lock({lock_attr!r}) if callers "
+                    "always hold it)"))
+        self.generic_visit(node)
+
+
+@register_rule
+class GuardedAccessRule(Rule):
+    code = "LOCK001"
+    summary = "guarded attribute access outside its lock's scope"
+
+    def check_module(self, module, context):
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            guarded = _guarded_map(node, context)
+            if not guarded:
+                continue
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                if item.name in CONSTRUCTION_METHODS:
+                    continue
+                held: set[str] = set()
+                required = _requires_lock_attr(item)
+                if required is not None:
+                    held.add(required)
+                checker = _ScopeChecker(guarded, held, module,
+                                        item.name, findings)
+                for statement in item.body:
+                    checker.visit(statement)
+        return findings
+
+
+@register_rule
+class GuardedTypoRule(Rule):
+    code = "LOCK002"
+    summary = "guarded_by names a field the class never assigns"
+
+    def check_module(self, module, context):
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            declared_here: dict[str, int] = {}
+            for decorator in node.decorator_list:
+                call = decorator_call(decorator, "guarded_by")
+                if call is not None:
+                    names = str_args(call)
+                    for field in names[1:]:
+                        declared_here[field] = decorator.lineno
+            if not declared_here:
+                continue
+            assigned: set[str] = set()
+            for child in ast.walk(node):
+                if isinstance(child, ast.Attribute) \
+                        and is_self_attr(child) \
+                        and isinstance(child.ctx,
+                                       (ast.Store, ast.Del, ast.Load)):
+                    assigned.add(child.attr)
+                elif isinstance(child, ast.AnnAssign) \
+                        and isinstance(child.target, ast.Name):
+                    assigned.add(child.target.id)
+            for field, line in sorted(declared_here.items()):
+                if field not in assigned:
+                    findings.append(Finding(
+                        self.code, module.path, line, 0,
+                        f"guarded_by declares `{field}` but {node.name} "
+                        "never touches that attribute — typo in the "
+                        "declaration?"))
+        return findings
+
+
+@register_rule
+class RequiredGuardedRule(Rule):
+    code = "LOCK003"
+    summary = "required class carries no guarded_by declaration"
+
+    def check_context(self, context):
+        findings: list[Finding] = []
+        for name, relpath in sorted(REQUIRED_GUARDED_CLASSES.items()):
+            module = context.by_relpath.get(relpath)
+            if module is None:
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and node.name == name:
+                    if not _guarded_map(node, context):
+                        findings.append(Finding(
+                            self.code, module.path, node.lineno,
+                            node.col_offset,
+                            f"{name} holds cross-thread mutable state "
+                            "and must declare @guarded_by(lock, fields "
+                            "...)"))
+                    break
+        return findings

@@ -1,0 +1,104 @@
+"""Finding emitters: text, JSON, SARIF 2.1.0.
+
+SARIF output follows the 2.1.0 schema closely enough for GitHub code
+scanning upload: one run, one driver, one rule entry per distinct code,
+one result per finding with a physical location (SARIF columns are
+1-based; internal columns are 0-based AST offsets).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import Finding, Rule
+
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/mc-ver-si/repro"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_text(findings: list[Finding]) -> str:
+    lines = [finding.format() for finding in findings]
+    active = sum(1 for finding in findings if not finding.suppressed)
+    suppressed = len(findings) - active
+    tail = f"{active} finding(s)"
+    if suppressed:
+        tail += f", {suppressed} suppressed"
+    lines.append(tail)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings: list[Finding]) -> str:
+    payload = {
+        "tool": TOOL_NAME,
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "message": finding.message,
+                "suppressed": finding.suppressed,
+            }
+            for finding in findings
+        ],
+        "counts": {
+            "total": len(findings),
+            "active": sum(1 for finding in findings
+                          if not finding.suppressed),
+            "suppressed": sum(1 for finding in findings
+                              if finding.suppressed),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(findings: list[Finding], rules: list[Rule]) -> str:
+    used = {finding.rule for finding in findings}
+    rule_entries = [
+        {
+            "id": rule.code,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in sorted(rules, key=lambda rule: rule.code)
+        if rule.code in used or not findings
+    ]
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.suppressed:
+            result["suppressions"] = [{"kind": "inSource"}]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -125,10 +125,8 @@ def parse_gem5_log(text: str, path: str | None = None,
             "events found")
     # Op ids: [sn:N] when complete and unique, else line order.
     sns = [sn for _, _, sn, _, _ in raw]
-    if None not in sns and len(set(sns)) == len(sns):
-        op_ids = sns
-    else:
-        op_ids = list(range(len(raw)))
+    complete = None not in sns and len(set(sns)) == len(sns)
+    op_ids = sns if complete else list(range(len(raw)))
     # Renumber raw data values into globally unique write ids: stores
     # allocate 1..K in line order, loads map back through what was
     # written at that address.

@@ -33,6 +33,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.bridge.ingest import load_trace, scan_corpus
 from repro.consistency.checker import Checker
@@ -40,6 +41,9 @@ from repro.consistency.memo import VerdictCache
 from repro.consistency.models import MemoryModel, TotalStoreOrder
 from repro.core.campaign import CampaignResult, GeneratorKind
 from repro.sim.coverage import CoverageCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.harness.distributed import Coordinator
 
 VERDICT_PASS = "pass"
 VERDICT_FAIL = "fail"
@@ -53,7 +57,7 @@ def _source_counters() -> dict[str, int]:
     return {"traces": 0, "passed": 0, "failed": 0, "corrupt": 0}
 
 
-@dataclass
+@dataclass(frozen=True)
 class ReplayShardStats:
     """Per-shard verdict bookkeeping, checkpointed between traces.
 
@@ -62,6 +66,11 @@ class ReplayShardStats:
     ``(file name, verdict)`` pair per trace in corpus order — the raw
     material for golden-verdict assertions and
     ``SweepReport.replay_verdicts()``.
+
+    Frozen wire type: :meth:`record` returns a *new* instance with
+    fresh containers rather than mutating in place, so a stats value
+    embedded in a checkpoint or outcome frame can never be aliased by
+    later recording.
     """
 
     traces: int = 0
@@ -74,24 +83,32 @@ class ReplayShardStats:
     detail: list[str] = field(default_factory=list)
 
     def record(self, name: str, source: str, verdict: str,
-               violations: list[str]) -> None:
+               violations: list[str]) -> "ReplayShardStats":
         index = self.traces
-        self.traces += 1
-        counters = self.sources.setdefault(source, _source_counters())
+        sources = {key: dict(counters)
+                   for key, counters in self.sources.items()}
+        counters = sources.setdefault(source, _source_counters())
         counters["traces"] += 1
+        passed, failed, corrupt = self.passed, self.failed, self.corrupt
+        first_failure = self.first_failure
+        detail = list(self.detail)
         if verdict == VERDICT_PASS:
-            self.passed += 1
+            passed += 1
             counters["passed"] += 1
         else:
-            self.failed += 1
+            failed += 1
             counters["failed"] += 1
             if verdict == VERDICT_CORRUPT:
-                self.corrupt += 1
+                corrupt += 1
                 counters["corrupt"] += 1
-            if self.first_failure is None:
-                self.first_failure = index
-                self.detail = [f"failing trace: {name}", *violations]
-        self.verdicts.append((name, verdict))
+            if first_failure is None:
+                first_failure = index
+                detail = [f"failing trace: {name}", *violations]
+        return ReplayShardStats(
+            traces=index + 1, passed=passed, failed=failed,
+            corrupt=corrupt, sources=sources,
+            verdicts=[*self.verdicts, (name, verdict)],
+            first_failure=first_failure, detail=detail)
 
     def copy(self) -> "ReplayShardStats":
         return ReplayShardStats(
@@ -104,7 +121,7 @@ class ReplayShardStats:
             detail=list(self.detail))
 
 
-@dataclass
+@dataclass(frozen=True)
 class ReplayCheckpoint:
     """Picklable mid-shard state of a :class:`ReplayCampaign`.
 
@@ -122,7 +139,7 @@ class ReplayCheckpoint:
     check_seconds: float = 0.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class ReplayCampaignResult(CampaignResult):
     """A :class:`CampaignResult` carrying the replay verdict counters.
 
@@ -242,7 +259,7 @@ class ReplayCampaign:
         except (ValueError, OSError) as error:
             # Per-item isolation: an unreadable or malformed file is
             # one corrupt verdict, never a dead sweep.
-            self._stats.record(
+            self._stats = self._stats.record(
                 name, UNREADABLE_SOURCE, VERDICT_CORRUPT,
                 [f"corruption: {type(error).__name__}: {error}"])
         else:
@@ -256,8 +273,9 @@ class ReplayCampaign:
                 verdict = VERDICT_CORRUPT
             else:
                 verdict = VERDICT_FAIL
-            self._stats.record(name, document.source, verdict,
-                               list(result.violations_summary()))
+            self._stats = self._stats.record(
+                name, document.source, verdict,
+                list(result.violations_summary()))
         self._check_seconds += time.perf_counter() - started
 
     # -- result assembly -----------------------------------------------
@@ -301,10 +319,9 @@ def replay_specs(corpus: "str | list[str]",
     from repro.harness.parallel import CampaignSpec, derive_shard_seed
     from repro.sim.config import SystemConfig
 
-    if isinstance(corpus, (str, os.PathLike)):
-        paths = scan_corpus(str(corpus))
-    else:
-        paths = [str(path) for path in corpus]
+    paths = (scan_corpus(str(corpus))
+             if isinstance(corpus, (str, os.PathLike))
+             else [str(path) for path in corpus])
     if not paths:
         raise ValueError("replay corpus contains no trace files")
     if shard_traces < 1:
@@ -338,7 +355,7 @@ def run_replay_sweep(corpus: "str | list[str]",
                      target_chunk_seconds: float = 2.0,
                      max_checkpoint_bytes: int | None = None,
                      transport: str = "local",
-                     coordinator: object = None,
+                     coordinator: Coordinator | None = None,
                      lease_timeout: float = 30.0,
                      max_frame_bytes: int | None = None,
                      verdict_memo: bool = False,

@@ -211,8 +211,7 @@ def execution_from_trace(threads: list[TestThread],
 
     # Coherence order from observed overwrites.
     co_successor: dict[Event, Event] = {}
-    for record in trace.writes + [
-            record for record in trace.rmws]:
+    for record in trace.writes + list(trace.rmws):
         if hasattr(record, "written_value"):
             this_write = event_by_eid.get((record.op_id, "W"))
             overwritten = record.overwritten
@@ -237,7 +236,7 @@ def execution_from_trace(threads: list[TestThread],
 
     # Per-address co chains and derived fr edges.
     chain_heads: dict[int, Event] = {}
-    for address in {event.address for event in events}:
+    for address in sorted({event.address for event in events}):
         chain_heads[address] = init_writes.setdefault(address,
                                                       init_write(address))
     for address, head in chain_heads.items():

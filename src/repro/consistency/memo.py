@@ -26,6 +26,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.locking import TracedLock, guarded_by, requires_lock
+
 #: Default LRU bound: entries are ~100 pickled bytes, so a full cache
 #: snapshots to a couple of MiB — comfortably inside the chunk-dispatch
 #: byte budgets.
@@ -94,6 +96,9 @@ class CacheMark:
     checks_observed: int
 
 
+@guarded_by("_lock", "_entries", "_insert_seq", "hits", "misses",
+            "evictions", "failed_refreshes", "seconds_saved",
+            "check_seconds_observed", "checks_observed")
 class VerdictCache:
     """Bounded LRU of signature → verdict with mergeable delta extraction.
 
@@ -101,6 +106,11 @@ class VerdictCache:
     (compact SHA-256 hex, the default) or ``"canonical"`` (the full
     canonical form — collision-safe, used by tests to prove the digest
     path agrees with it).
+
+    Thread-safe: shipment assembly on the coordinator reads the cache
+    while worker outcomes merge deltas in, so every entry/counter access
+    goes through ``_lock`` (always acquired *after* the scheduler lock,
+    never before — see the hierarchy note in :mod:`repro.locking`).
     """
 
     def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY,
@@ -112,6 +122,7 @@ class VerdictCache:
                              f"got {keying!r}")
         self.capacity = capacity
         self.keying = keying
+        self._lock = TracedLock("verdict_cache")
         # key -> (verdict, insert_seq); OrderedDict order is LRU order.
         self._entries: OrderedDict = OrderedDict()
         self._insert_seq = 0
@@ -124,16 +135,20 @@ class VerdictCache:
         self.checks_observed = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def inserts(self) -> int:
         """Monotone insertion counter — cheap change-detection for shipments."""
-        return self._insert_seq
+        with self._lock:
+            return self._insert_seq
 
+    @requires_lock("_lock")
     def _mean_check_seconds(self) -> float:
         if not self.checks_observed:
             return 0.0
@@ -147,43 +162,47 @@ class VerdictCache:
         ``seconds_saved``); a failing hit counts as ``failed_refreshes``
         because the caller re-checks to regenerate violation context.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        verdict = entry[0]
-        if verdict.passed:
-            self.hits += 1
-            self.seconds_saved += self._mean_check_seconds()
-        else:
-            self.failed_refreshes += 1
-        return verdict
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            verdict = entry[0]
+            if verdict.passed:
+                self.hits += 1
+                self.seconds_saved += self._mean_check_seconds()
+            else:
+                self.failed_refreshes += 1
+            return verdict
 
     def store(self, key, verdict: CachedVerdict,
               check_seconds: float = 0.0) -> None:
         """Record the verdict of a fully executed check for *key*."""
-        self.check_seconds_observed += check_seconds
-        self.checks_observed += 1
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            return
-        self._entries[key] = (verdict, self._insert_seq)
-        self._insert_seq += 1
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self.check_seconds_observed += check_seconds
+            self.checks_observed += 1
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = (verdict, self._insert_seq)
+            self._insert_seq += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     # -- delta / merge / snapshot (the CoverageCollector.merge idiom) -----
 
     def mark(self) -> CacheMark:
         """A position marker; ``delta(mark)`` returns what happened since."""
-        return CacheMark(insert_seq=self._insert_seq, hits=self.hits,
-                         misses=self.misses, evictions=self.evictions,
-                         failed_refreshes=self.failed_refreshes,
-                         seconds_saved=self.seconds_saved,
-                         check_seconds_observed=self.check_seconds_observed,
-                         checks_observed=self.checks_observed)
+        with self._lock:
+            return CacheMark(
+                insert_seq=self._insert_seq, hits=self.hits,
+                misses=self.misses, evictions=self.evictions,
+                failed_refreshes=self.failed_refreshes,
+                seconds_saved=self.seconds_saved,
+                check_seconds_observed=self.check_seconds_observed,
+                checks_observed=self.checks_observed)
 
     def delta(self, mark: CacheMark) -> VerdictCacheDelta:
         """Entries inserted and counters accumulated since *mark*.
@@ -194,20 +213,23 @@ class VerdictCache:
         Entries evicted since the mark simply drop out; eviction only
         ever costs downstream re-checks.
         """
-        fresh = tuple(sorted(((key, entry[0])
-                              for key, entry in self._entries.items()
-                              if entry[1] >= mark.insert_seq),
-                             key=lambda item: self._entries[item[0]][1]))
-        return VerdictCacheDelta(
-            entries=fresh,
-            hits=self.hits - mark.hits,
-            misses=self.misses - mark.misses,
-            evictions=self.evictions - mark.evictions,
-            failed_refreshes=self.failed_refreshes - mark.failed_refreshes,
-            seconds_saved=self.seconds_saved - mark.seconds_saved,
-            check_seconds_observed=(self.check_seconds_observed
-                                    - mark.check_seconds_observed),
-            checks_observed=self.checks_observed - mark.checks_observed)
+        with self._lock:
+            fresh = tuple(sorted(
+                ((key, entry[0])
+                 for key, entry in self._entries.items()
+                 if entry[1] >= mark.insert_seq),
+                key=lambda item: self._entries[item[0]][1]))
+            return VerdictCacheDelta(
+                entries=fresh,
+                hits=self.hits - mark.hits,
+                misses=self.misses - mark.misses,
+                evictions=self.evictions - mark.evictions,
+                failed_refreshes=(self.failed_refreshes
+                                  - mark.failed_refreshes),
+                seconds_saved=self.seconds_saved - mark.seconds_saved,
+                check_seconds_observed=(self.check_seconds_observed
+                                        - mark.check_seconds_observed),
+                checks_observed=self.checks_observed - mark.checks_observed)
 
     def merge(self, other: "VerdictCacheState | VerdictCacheDelta") -> int:
         """Fold entries from a state or delta in; returns entries adopted.
@@ -218,48 +240,52 @@ class VerdictCache:
         they describe where the entries were earned; aggregation across
         shards happens in the scheduler's telemetry fold.
         """
-        adopted = 0
-        for key, verdict in other.entries:
-            if key in self._entries:
-                continue
-            self._entries[key] = (verdict, self._insert_seq)
-            self._insert_seq += 1
-            adopted += 1
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.evictions += 1
-        return adopted
+        with self._lock:
+            adopted = 0
+            for key, verdict in other.entries:
+                if key in self._entries:
+                    continue
+                self._entries[key] = (verdict, self._insert_seq)
+                self._insert_seq += 1
+                adopted += 1
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            return adopted
 
     def snapshot(self, max_entries: int | None = None) -> VerdictCacheState:
         """A picklable state (optionally only the *max_entries* newest)."""
-        entries = tuple((key, entry[0])
-                        for key, entry in self._entries.items())
-        if max_entries is not None and len(entries) > max_entries:
-            entries = entries[len(entries) - max_entries:]
-        return VerdictCacheState(
-            capacity=self.capacity, keying=self.keying, entries=entries,
-            hits=self.hits, misses=self.misses, evictions=self.evictions,
-            failed_refreshes=self.failed_refreshes,
-            seconds_saved=self.seconds_saved,
-            check_seconds_observed=self.check_seconds_observed,
-            checks_observed=self.checks_observed)
+        with self._lock:
+            entries = tuple((key, entry[0])
+                            for key, entry in self._entries.items())
+            if max_entries is not None and len(entries) > max_entries:
+                entries = entries[len(entries) - max_entries:]
+            return VerdictCacheState(
+                capacity=self.capacity, keying=self.keying,
+                entries=entries, hits=self.hits, misses=self.misses,
+                evictions=self.evictions,
+                failed_refreshes=self.failed_refreshes,
+                seconds_saved=self.seconds_saved,
+                check_seconds_observed=self.check_seconds_observed,
+                checks_observed=self.checks_observed)
 
     def restore(self, state: VerdictCacheState) -> None:
         """Replace all cache contents and counters with *state*."""
-        self.capacity = state.capacity
-        self.keying = state.keying
-        self._entries = OrderedDict()
-        self._insert_seq = 0
-        for key, verdict in state.entries:
-            self._entries[key] = (verdict, self._insert_seq)
-            self._insert_seq += 1
-        self.hits = state.hits
-        self.misses = state.misses
-        self.evictions = state.evictions
-        self.failed_refreshes = state.failed_refreshes
-        self.seconds_saved = state.seconds_saved
-        self.check_seconds_observed = state.check_seconds_observed
-        self.checks_observed = state.checks_observed
+        with self._lock:
+            self.capacity = state.capacity
+            self.keying = state.keying
+            self._entries = OrderedDict()
+            self._insert_seq = 0
+            for key, verdict in state.entries:
+                self._entries[key] = (verdict, self._insert_seq)
+                self._insert_seq += 1
+            self.hits = state.hits
+            self.misses = state.misses
+            self.evictions = state.evictions
+            self.failed_refreshes = state.failed_refreshes
+            self.seconds_saved = state.seconds_saved
+            self.check_seconds_observed = state.check_seconds_observed
+            self.checks_observed = state.checks_observed
 
     @classmethod
     def from_state(cls, state: VerdictCacheState) -> "VerdictCache":
@@ -269,13 +295,15 @@ class VerdictCache:
 
     def stats(self) -> dict:
         """Telemetry view: entry count, hit-rate and seconds saved."""
-        lookups = self.hits + self.misses + self.failed_refreshes
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "failed_refreshes": self.failed_refreshes,
-            "evictions": self.evictions,
-            "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
-            "seconds_saved": round(self.seconds_saved, 6),
-        }
+        with self._lock:
+            lookups = self.hits + self.misses + self.failed_refreshes
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "failed_refreshes": self.failed_refreshes,
+                "evictions": self.evictions,
+                "hit_rate": (round(self.hits / lookups, 4)
+                             if lookups else 0.0),
+                "seconds_saved": round(self.seconds_saved, 6),
+            }

@@ -61,9 +61,14 @@ class GeneratorKind(Enum):
         return not self.is_genetic
 
 
-@dataclass
+@dataclass(frozen=True)
 class CampaignResult:
-    """Outcome of one generator/bug campaign (one sample of Table 4)."""
+    """Outcome of one generator/bug campaign (one sample of Table 4).
+
+    Frozen: results cross the worker/coordinator wire and participate
+    in fold-order-independent reductions; the list fields (``detail``,
+    ``ndt_history``) are filled at construction and never rebound.
+    """
 
     kind: GeneratorKind
     found: bool
@@ -149,18 +154,14 @@ class Campaign:
         self.model = model or TotalStoreOrder()
         self.seed = seed
         self.coverage = CoverageCollector()
-        if kind is GeneratorKind.MCVERSI_STD_XO:
-            fitness = NdtAugmentedFitness(
-                self.coverage,
-                initial_cutoff=generator_config.coverage_initial_cutoff,
-                low_threshold=generator_config.coverage_low_threshold,
-                patience=generator_config.coverage_patience)
-        else:
-            fitness = AdaptiveCoverageFitness(
-                self.coverage,
-                initial_cutoff=generator_config.coverage_initial_cutoff,
-                low_threshold=generator_config.coverage_low_threshold,
-                patience=generator_config.coverage_patience)
+        fitness_cls = (NdtAugmentedFitness
+                       if kind is GeneratorKind.MCVERSI_STD_XO
+                       else AdaptiveCoverageFitness)
+        fitness = fitness_cls(
+            self.coverage,
+            initial_cutoff=generator_config.coverage_initial_cutoff,
+            low_threshold=generator_config.coverage_low_threshold,
+            patience=generator_config.coverage_patience)
         self.engine = VerificationEngine(
             generator_config, system_config, faults=self.faults,
             model=self.model, coverage=self.coverage, fitness=fitness,

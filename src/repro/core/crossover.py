@@ -54,25 +54,24 @@ def selective_crossover_mutate(test1: Chromosome, test2: Chromosome,
     mutations = 0
     for index in range(len(child)):
         pid1, op1 = test1.slots[index]
-        if op1.kind.is_memory:
-            select1 = _random_bool(rng, p_usel) or op1.address in fit1
-        else:
-            select1 = _random_bool(rng, p_select1)
+        select1 = ((_random_bool(rng, p_usel) or op1.address in fit1)
+                   if op1.kind.is_memory
+                   else _random_bool(rng, p_select1))
         pid2, op2 = test2.slots[index]
-        if op2.kind.is_memory:
-            select2 = _random_bool(rng, p_usel) or op2.address in fit2
-        else:
-            select2 = _random_bool(rng, p_select2)
+        select2 = ((_random_bool(rng, p_usel) or op2.address in fit2)
+                   if op2.kind.is_memory
+                   else _random_bool(rng, p_select2))
 
         if not select1 and select2:
             child[index] = (pid2, op2)
         elif not select1 and not select2:
             mutations += 1
-            if _random_bool(rng, config.fitaddr_bias) and (fit1 or fit2):
-                child[index] = generator.random_slot(
-                    index, constrain_addresses=fit1 | fit2)
-            else:
-                child[index] = generator.random_slot(index)
+            constrain = (_random_bool(rng, config.fitaddr_bias)
+                         and bool(fit1 or fit2))
+            child[index] = (
+                generator.random_slot(index,
+                                      constrain_addresses=fit1 | fit2)
+                if constrain else generator.random_slot(index))
         # else: retain child[index] (the slot from test1).
 
     offspring = make_chromosome(child, test1.num_threads)

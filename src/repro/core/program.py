@@ -67,7 +67,7 @@ class Chromosome:
         RMW slots contribute both their read and write events.
         """
         mapping: dict[tuple, int] = {}
-        for index, (pid, op) in enumerate(self.slots):
+        for _pid, op in self.slots:
             if not op.kind.is_memory or op.address is None:
                 continue
             if op.kind.is_load:

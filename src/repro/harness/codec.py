@@ -78,6 +78,93 @@ class _Registered:
 _BY_NAME: dict[str, _Registered] = {}
 _BY_TYPE: dict[type, _Registered] = {}
 
+#: The authoritative wire-field manifest.  Every ``repro.*`` class on
+#: the wire must appear here with its exact field tuple; ``register``
+#: validates against it at import time and the static analyzer (rules
+#: ``WIRE001``/``WIRE003``/``WIRE004`` in :mod:`repro.analysis.wire`)
+#: cross-checks it against the dataclass definitions, so adding a field
+#: to a wire type without updating this table fails fast in both CI
+#: legs.  Keep entries in dataclass declaration order — the tuple is
+#: compared exactly, order included.
+WIRE_FIELDS: dict[str, tuple[str, ...]] = {
+    "ChunkTask": (
+        "index", "spec", "checkpoint", "pause_after", "cache",
+        "checker_backend"),
+    "ChunkOutcome": (
+        "index", "shard", "checkpoint", "error", "telemetry", "payload",
+        "cache_delta"),
+    "ChunkTelemetry": (
+        "evaluations", "wall_seconds", "checkpoint_bytes",
+        "checkpoint_seconds"),
+    "ChunkPayload": ("data",),
+    "CampaignSpec": (
+        "kind", "generator_config", "system_config", "fault", "seed",
+        "max_evaluations", "time_limit_seconds", "chromosome",
+        "trace_paths", "label"),
+    "ShardResult": ("spec", "result", "coverage"),
+    "CampaignResult": (
+        "kind", "found", "evaluations", "evaluations_to_find",
+        "wall_seconds", "detail", "total_coverage", "ndt_history",
+        "mean_ndt_final", "sim_seconds", "check_seconds"),
+    "GeneratorConfig": (
+        "test_size", "num_threads", "iterations", "memory", "bias",
+        "delay_max", "population_size", "tournament_size",
+        "mutation_probability", "crossover_probability",
+        "unconditional_selection_probability", "fitaddr_bias",
+        "coverage_initial_cutoff", "coverage_low_threshold",
+        "coverage_patience"),
+    "OperationBias": (
+        "read", "read_addr_dp", "write", "rmw", "cache_flush", "delay"),
+    "Chromosome": ("slots", "num_threads"),
+    "TestOp": ("op_id", "kind", "address", "value", "delay"),
+    "SystemConfig": (
+        "num_cores", "rob_entries", "lsq_entries", "l1", "l2",
+        "l2_hit_latency_max", "memory_latency_min", "memory_latency_max",
+        "network_latency_min", "network_latency_max", "issue_width",
+        "protocol", "tso_cc_timestamp_group", "tso_cc_max_timestamp",
+        "tso_cc_max_accesses"),
+    "CacheConfig": ("size_bytes", "line_bytes", "ways", "hit_latency"),
+    "TestMemoryLayout": (
+        "size_bytes", "stride", "partition_bytes",
+        "partition_separation", "base_address"),
+    "TransitionKey": ("controller", "state", "event"),
+    "VerdictCacheDelta": (
+        "entries", "hits", "misses", "evictions", "failed_refreshes",
+        "seconds_saved", "check_seconds_observed", "checks_observed"),
+    "VerdictCacheState": (
+        "capacity", "keying", "entries", "hits", "misses", "evictions",
+        "failed_refreshes", "seconds_saved", "check_seconds_observed",
+        "checks_observed"),
+    "CachedVerdict": ("passed", "violation_kinds"),
+    "ReplayShardStats": (
+        "traces", "passed", "failed", "corrupt", "sources", "verdicts",
+        "first_failure", "detail"),
+    "ReplayCheckpoint": (
+        "kind", "seed", "evaluations", "stats", "elapsed_seconds",
+        "check_seconds"),
+    "ReplayCampaignResult": (
+        "kind", "found", "evaluations", "evaluations_to_find",
+        "wall_seconds", "detail", "total_coverage", "ndt_history",
+        "mean_ndt_final", "sim_seconds", "check_seconds", "stats"),
+    "CoverageCollector": ("counts", "known", "run"),
+}
+
+#: Enums admitted to the wire (encoded by value).
+WIRE_ENUMS: tuple[str, ...] = ("Fault", "GeneratorKind", "OpKind")
+
+#: Classes encoded through explicit hooks rather than dataclass fields;
+#: their ``WIRE_FIELDS`` entry names the hook's field-dict keys and is
+#: enforced on decode like any other entry.
+WIRE_HOOKS: tuple[str, ...] = ("CoverageCollector",)
+
+#: Sanctioned opaque-payload roots: graphs that cross the wire only as
+#: pickled bytes inside a registered envelope (``ChunkPayload``), never
+#: as codec-encoded fields.  The static reachability lint (WIRE004)
+#: stops here instead of demanding manifest entries for the whole
+#: checkpoint graph; unpickling stays confined to the trusted-transport
+#: modules.
+WIRE_OPAQUE: tuple[str, ...] = ("CampaignCheckpoint",)
+
 #: Classes that may legitimately appear on the wire but whose defining
 #: module is imported lazily (the harness never imports the bridge at
 #: module load; see ``repro.harness.parallel._campaign_for``).  On an
@@ -98,9 +185,14 @@ def register(cls: type, fields: Iterable[str] | None = None, *,
     Dataclasses need nothing beyond the class itself (fields are derived
     from the dataclass definition); enums are encoded by value.  Classes
     with private/non-dataclass state pass ``encode`` (instance -> field
-    dict) and ``decode`` (field dict -> instance) hooks.  Registering
-    the same class twice is idempotent; a *different* class under an
-    already-taken name is a programming error and raises.
+    dict) and ``decode`` (field dict -> instance) hooks, plus ``fields``
+    naming the hook's field-dict keys for decode-side checking.
+    Registering the same class twice is idempotent; a *different* class
+    under an already-taken name is a programming error and raises.
+
+    Classes defined under the ``repro`` package are validated against
+    the :data:`WIRE_FIELDS` manifest: an unlisted class, or one whose
+    fields drifted from its manifest entry, raises at import time.
     """
     name = cls.__name__
     existing = _BY_NAME.get(name)
@@ -110,7 +202,9 @@ def register(cls: type, fields: Iterable[str] | None = None, *,
         raise ValueError(f"codec name {name!r} already registered for "
                          f"{existing.cls!r}")
     is_enum = isinstance(cls, type) and issubclass(cls, Enum)
-    if not is_enum and encode is None:
+    if is_enum:
+        fields = None
+    elif encode is None:
         if fields is None:
             if not dataclasses.is_dataclass(cls):
                 raise ValueError(f"{cls!r} is not a dataclass; pass fields "
@@ -119,12 +213,49 @@ def register(cls: type, fields: Iterable[str] | None = None, *,
         else:
             fields = tuple(fields)
     else:
-        fields = None
+        fields = tuple(fields) if fields is not None else None
+    _validate_against_manifest(cls, fields, is_enum,
+                               has_hooks=encode is not None)
     entry = _Registered(cls=cls, fields=fields, encode_fn=encode,
                         decode_fn=decode, is_enum=is_enum)
     _BY_NAME[name] = entry
     _BY_TYPE[cls] = entry
     return cls
+
+
+def _validate_against_manifest(cls: type,
+                               fields: tuple[str, ...] | None,
+                               is_enum: bool, has_hooks: bool) -> None:
+    """Enforce the closed universe for first-party classes.
+
+    Only classes defined under the ``repro`` package are checked —
+    tests and downstream embedders may register their own types without
+    touching the manifest (they are outside the audited surface).
+    """
+    if not getattr(cls, "__module__", "").startswith("repro."):
+        return
+    name = cls.__name__
+    if is_enum:
+        if name not in WIRE_ENUMS:
+            raise ValueError(
+                f"enum {name} is not listed in codec.WIRE_ENUMS; the "
+                "wire universe is closed — add it to the manifest")
+        return
+    if has_hooks and name not in WIRE_HOOKS:
+        raise ValueError(
+            f"hook-encoded class {name} is not listed in "
+            "codec.WIRE_HOOKS; add it (and its field keys to "
+            "WIRE_FIELDS)")
+    listed = WIRE_FIELDS.get(name)
+    if listed is None:
+        raise ValueError(
+            f"{name} is not listed in codec.WIRE_FIELDS; the wire "
+            "universe is closed — add its field tuple to the manifest")
+    if fields is not None and fields != listed:
+        raise ValueError(
+            f"{name} fields drifted from codec.WIRE_FIELDS: class has "
+            f"{fields!r}, manifest lists {listed!r} — update the "
+            "manifest in the same change as the dataclass")
 
 
 def registered_names() -> tuple[str, ...]:
@@ -219,10 +350,8 @@ def _encode_value(out: bytearray, value: object, depth: int) -> None:
         return
     out += b"O"
     _encode_name(out, kind.__name__)
-    if entry.encode_fn is not None:
-        fields = entry.encode_fn(value)
-    else:
-        fields = {name: getattr(value, name) for name in entry.fields}
+    fields = (entry.encode_fn(value) if entry.encode_fn is not None
+              else {name: getattr(value, name) for name in entry.fields})
     out += _U32.pack(len(fields))
     for name, item in fields.items():
         _encode_name(out, name)
@@ -437,11 +566,15 @@ def _register_wire_types() -> None:
         register(cls)
 
     def encode_coverage(collector: CoverageCollector) -> dict:
+        # The known/run transition sets are sorted so the encoded frame
+        # is byte-identical regardless of insertion order or hash seed
+        # (the counts tuple keeps Counter insertion order: resume
+        # bit-identity depends on it and it is already deterministic).
         return {
             "counts": tuple((key, count) for key, count
                             in collector.global_counts.items()),
-            "known": tuple(collector._known),
-            "run": tuple(collector._run_transitions),
+            "known": tuple(sorted(collector._known)),
+            "run": tuple(sorted(collector._run_transitions)),
         }
 
     def decode_coverage(fields: dict) -> CoverageCollector:
@@ -459,8 +592,8 @@ def _register_wire_types() -> None:
         collector._run_transitions.update(fields["run"])
         return collector
 
-    register(CoverageCollector, encode=encode_coverage,
-             decode=decode_coverage)
+    register(CoverageCollector, WIRE_FIELDS["CoverageCollector"],
+             encode=encode_coverage, decode=decode_coverage)
 
 
 _register_wire_types()

@@ -64,6 +64,7 @@ ever hitting the fatal frame cap.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import pickle
 import queue
@@ -85,6 +86,7 @@ from repro.harness.parallel import (CHECKPOINT_FRAME_FRACTION,
                                     ShardFailure, ShardResult, SweepConfig,
                                     build_chunk_scheduler, default_workers,
                                     execute_chunk_task, merge_shipped_cache)
+from repro.locking import TracedLock, guarded_by, requires_lock
 
 PROTOCOL_MAGIC = "mcversi-distributed"
 PROTOCOL_VERSION = 1
@@ -372,8 +374,15 @@ class _Lease:
     deadline: float
 
 
+@guarded_by("_lock", "_leases", "_connections", "_threads", "stats")
 class Coordinator:
     """Serves a sweep's chunked task queue to TCP workers.
+
+    Thread-safety: the coordinator lock ("coordinator") guards lease,
+    connection and stats state; it sits at the top of the sanctioned
+    hierarchy and may be held while taking the scheduler lock
+    ("chunk_scheduler").  The lock is non-reentrant — lock-held helpers
+    are marked ``@requires_lock``.
 
     Construction binds the listening socket (``bind``: a ``(host, port)``
     pair or ``"host:port"`` string, loopback-ephemeral by default) and
@@ -409,7 +418,7 @@ class Coordinator:
                  chunk_evaluations: int | None = None,
                  chunk_sizing: str = CHUNK_SIZING_FIXED,
                  target_chunk_seconds: float = DEFAULT_TARGET_CHUNK_SECONDS,
-                 bind: object = None,
+                 bind: str | tuple[str, int] | None = None,
                  lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
                  max_checkpoint_bytes: int | None = None,
@@ -439,7 +448,7 @@ class Coordinator:
         self._telemetry_out = telemetry_out
         self._handshake_timeout = handshake_timeout
         self.stats = CoordinatorStats()
-        self._lock = threading.Lock()
+        self._lock = TracedLock("coordinator")
         self._leases: dict[int, _Lease] = {}
         self._results: queue.Queue = queue.Queue()
         self._draining = threading.Event()
@@ -465,7 +474,7 @@ class Coordinator:
 
     @classmethod
     def from_config(cls, specs: list[CampaignSpec], config: SweepConfig,
-                    bind: object = None,
+                    bind: str | tuple[str, int] | None = None,
                     hosts_out: dict | None = None,
                     telemetry_out: dict | None = None,
                     handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT
@@ -517,26 +526,28 @@ class Coordinator:
     def close(self) -> None:
         """Drain gracefully: stop accepting, shut workers down, join."""
         self._draining.set()
-        try:
+        with contextlib.suppress(OSError):  # pragma: no cover - already closed
             self._listener.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
         self._accept_thread.join(timeout=2.0)
         # Idle workers poll every IDLE_DELAY seconds and receive a shutdown
         # reply on their next request; give the handlers a moment to say
         # goodbye before force-closing whatever is left (e.g. a worker
         # still grinding a stale chunk).
         deadline = time.monotonic() + 3.0
-        for thread in list(self._threads):
+        # Snapshot under the lock, then join outside it (joining a
+        # handler thread that itself wants the lock would deadlock).
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout=max(0.0, deadline - time.monotonic()))
         with self._lock:
             connections = list(self._connections)
         for connection in connections:
-            try:
+            with contextlib.suppress(OSError):  # pragma: no cover - defensive cleanup
                 connection.close()
-            except OSError:  # pragma: no cover - defensive cleanup
-                pass
-        for thread in list(self._threads):
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout=1.0)
         self._monitor_thread.join(timeout=2.0)
 
@@ -631,10 +642,8 @@ class Coordinator:
                 self.stats.disconnects += 1
         finally:
             self._forfeit(lease)
-            try:
+            with contextlib.suppress(OSError):  # pragma: no cover - defensive cleanup
                 connection.close()
-            except OSError:  # pragma: no cover - defensive cleanup
-                pass
             with self._lock:
                 if connection in self._connections:
                     self._connections.remove(connection)
@@ -792,6 +801,7 @@ class Coordinator:
                 del self._leases[lease.task.index]
                 self._requeue_lost(lease)
 
+    @requires_lock("_lock")
     def _requeue_lost(self, lease: _Lease) -> None:
         """Re-queue a forfeited chunk; abort the sweep if it is poison.
 
@@ -939,10 +949,8 @@ def run_worker(address: object, name: str | None = None,
                 raise ProtocolError("coordinator sent a malformed reply")
             kind = message[0]
             if kind == "shutdown":
-                try:
+                with contextlib.suppress(OSError):  # pragma: no cover - racing close
                     send(("goodbye",))
-                except OSError:  # pragma: no cover - racing close
-                    pass
                 return stats
             if kind == "idle":
                 time.sleep(message[1])
@@ -975,10 +983,8 @@ def run_worker(address: object, name: str | None = None,
             send(("result", outcome))
     finally:
         stop.set()
-        try:
+        with contextlib.suppress(OSError):  # pragma: no cover - defensive cleanup
             sock.close()
-        except OSError:  # pragma: no cover - defensive cleanup
-            pass
 
 
 # ----------------------------------------------------------------------
@@ -1057,7 +1063,7 @@ def _watch_spawned_workers(server: Coordinator,
 
 
 def iter_distributed(specs: list[CampaignSpec],
-                     coordinator: object = None,
+                     coordinator: Coordinator | None = None,
                      workers: int = 1,
                      chunk_evaluations: int | None = None,
                      chunk_sizing: str = CHUNK_SIZING_FIXED,

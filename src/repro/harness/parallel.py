@@ -124,6 +124,7 @@ from repro.core.campaign import (Campaign, CampaignCheckpoint, CampaignResult,
                                  GeneratorKind)
 from repro.core.config import GeneratorConfig
 from repro.core.program import Chromosome
+from repro.locking import TracedLock, guarded_by, requires_lock
 from repro.sim.config import SystemConfig
 from repro.sim.coverage import CoverageCollector
 from repro.sim.faults import Fault, FaultSet
@@ -184,7 +185,7 @@ class CampaignSpec:
         return f"{name} vs {bug} (seed {self.seed})"
 
 
-@dataclass
+@dataclass(frozen=True)
 class ShardResult:
     """Outcome of one shard plus the coverage it observed."""
 
@@ -774,6 +775,12 @@ def _cache_counters_view(entries: int, hits: int, misses: int,
     }
 
 
+@guarded_by("_lock", "_queue", "_completed", "_queued", "_outstanding",
+            "_cache_shipment", "_cache_shipment_inserts", "stale_pauses",
+            "total_chunk_evaluations", "total_chunk_seconds",
+            "total_checkpoint_bytes", "total_payload_bytes_saved",
+            "cache_hits", "cache_misses", "cache_failed_refreshes",
+            "cache_evictions", "cache_seconds_saved")
 class ChunkScheduler:
     """The transport-agnostic task source / result sink of one sweep.
 
@@ -807,8 +814,13 @@ class ChunkScheduler:
     continuation is re-sized with the freshest estimates, whichever
     transport carries it.
 
-    Not thread-safe by itself: the multiprocessing transport drives it from
-    a single host thread, the TCP coordinator wraps it in a lock.
+    Thread-safe: the TCP coordinator and the verification service drive
+    it from many connection threads, so every queue/bookkeeping access
+    goes through ``_lock`` (a :class:`~repro.locking.TracedLock`;
+    acquired after the service/coordinator lock and before the
+    verdict-cache lock in the sanctioned hierarchy).  The
+    single-threaded multiprocessing transport pays one uncontended
+    acquire per call.
     """
 
     def __init__(self, specs: list[CampaignSpec],
@@ -829,6 +841,7 @@ class ChunkScheduler:
         #: here for telemetry.
         self.checker_backend = checker_backend
         self.backend_name = resolve_backend_name(checker_backend)
+        self._lock = TracedLock("chunk_scheduler")
         #: Sweep-wide verdict cache (collective checking): outcomes'
         #: deltas fold in via :meth:`record`, and :meth:`next_task` stamps
         #: the current state onto every dispatched task so each worker
@@ -881,15 +894,20 @@ class ChunkScheduler:
     @property
     def pending(self) -> int:
         """Shards not yet completed (queued or outstanding on workers)."""
-        return len(self.specs) - len(self._completed)
+        with self._lock:
+            return len(self.specs) - len(self._completed)
 
     @property
     def queued(self) -> int:
-        return len(self._queue)
+        with self._lock:
+            return len(self._queue)
 
     @property
     def done(self) -> bool:
-        return self.pending == 0
+        # Inlines ``pending == 0`` rather than reading the locking
+        # property: the lock is not reentrant.
+        with self._lock:
+            return len(self._completed) == len(self.specs)
 
     def next_task(self) -> ChunkTask | None:
         """The next task to hand to an idle worker (``None``: none queued).
@@ -900,29 +918,34 @@ class ChunkScheduler:
         queued before the estimate moved and for chunks re-queued after a
         worker was lost.
         """
-        while self._queue:
-            task = self._queue.popleft()
-            self._queued.discard(task.index)
-            if task.index in self._completed:
-                # A stale continuation left behind when its shard's
-                # completion arrived from another worker: skip it.
-                continue
-            self._outstanding.add(task.index)
-            if isinstance(task.checkpoint, ChunkPayload):
-                # This dispatch forwards pre-serialized bytes where the
-                # old protocol would have re-pickled the graph.
-                self.total_payload_bytes_saved += task.checkpoint.nbytes
-            pause_after = self.controller.chunk_for(sizing_key(task.spec))
-            if pause_after != task.pause_after:
-                task = replace(task, pause_after=pause_after)
-            if self.verdict_cache is not None:
-                # Piggyback the sweep-wide cache like the sizing EWMAs:
-                # stamped at dispatch with the *current* state, pickled
-                # lazily (re-serialized only after new entries arrived).
-                task = replace(task, cache=self._shipment_bytes())
-            return task
-        return None
+        with self._lock:
+            while self._queue:
+                task = self._queue.popleft()
+                self._queued.discard(task.index)
+                if task.index in self._completed:
+                    # A stale continuation left behind when its shard's
+                    # completion arrived from another worker: skip it.
+                    continue
+                self._outstanding.add(task.index)
+                if isinstance(task.checkpoint, ChunkPayload):
+                    # This dispatch forwards pre-serialized bytes where
+                    # the old protocol would have re-pickled the graph.
+                    self.total_payload_bytes_saved += \
+                        task.checkpoint.nbytes
+                pause_after = self.controller.chunk_for(
+                    sizing_key(task.spec))
+                if pause_after != task.pause_after:
+                    task = replace(task, pause_after=pause_after)
+                if self.verdict_cache is not None:
+                    # Piggyback the sweep-wide cache like the sizing
+                    # EWMAs: stamped at dispatch with the *current*
+                    # state, pickled lazily (re-serialized only after
+                    # new entries arrived).
+                    task = replace(task, cache=self._shipment_bytes())
+                return task
+            return None
 
+    @requires_lock("_lock")
     def _shipment_bytes(self) -> bytes:
         """The pickled sweep-cache state to stamp on a dispatch.
 
@@ -951,11 +974,13 @@ class ChunkScheduler:
         Idempotent: a task whose shard already completed, or whose index
         is already queued (a duplicate forfeit), is dropped.
         """
-        if task.index in self._completed or task.index in self._queued:
-            return
-        self._outstanding.discard(task.index)
-        self._queued.add(task.index)
-        self._queue.append(task)
+        with self._lock:
+            if task.index in self._completed \
+                    or task.index in self._queued:
+                return
+            self._outstanding.discard(task.index)
+            self._queued.add(task.index)
+            self._queue.append(task)
 
     def record(self, outcome: ChunkOutcome) -> tuple[int, ShardResult] | None:
         """Fold one worker outcome back in.
@@ -978,49 +1003,56 @@ class ChunkScheduler:
                 f"shard {outcome.index} "
                 f"({self.specs[outcome.index].describe()}) failed in a "
                 f"worker: {outcome.error}")
-        if outcome.telemetry is not None:
-            self.controller.observe(sizing_key(self.specs[outcome.index]),
-                                    outcome.telemetry)
-            self.total_chunk_evaluations += outcome.telemetry.evaluations
-            self.total_chunk_seconds += outcome.telemetry.wall_seconds
-            self.total_checkpoint_bytes += outcome.telemetry.checkpoint_bytes
-        if outcome.payload is not None:
-            # The result hop that just happened forwarded bytes verbatim
-            # (the dispatch hop is credited when/if the continuation is
-            # actually handed out).
-            self.total_payload_bytes_saved += outcome.payload.nbytes
-        if outcome.cache_delta is not None and self.verdict_cache is not None:
-            # Folded before the dedup checks, like the telemetry: entry
-            # merges are idempotent and the counters are telemetry-only,
-            # so even a stale replay's delta is safe to absorb.
-            delta = outcome.cache_delta
-            self.verdict_cache.merge(delta)
-            self.cache_hits += delta.hits
-            self.cache_misses += delta.misses
-            self.cache_failed_refreshes += delta.failed_refreshes
-            self.cache_evictions += delta.evictions
-            self.cache_seconds_saved += delta.seconds_saved
-        if outcome.index in self._completed:
-            return None
-        if outcome.shard is None:
-            if outcome.index not in self._outstanding:
-                # The chunk was re-queued (its worker presumed dead) and
-                # now the original worker reports the pause after all:
-                # enqueuing this continuation too would double-run the
-                # shard.  The re-queued task replays to the same point.
-                self.stale_pauses += 1
+        with self._lock:
+            if outcome.telemetry is not None:
+                self.controller.observe(
+                    sizing_key(self.specs[outcome.index]),
+                    outcome.telemetry)
+                self.total_chunk_evaluations += \
+                    outcome.telemetry.evaluations
+                self.total_chunk_seconds += outcome.telemetry.wall_seconds
+                self.total_checkpoint_bytes += \
+                    outcome.telemetry.checkpoint_bytes
+            if outcome.payload is not None:
+                # The result hop that just happened forwarded bytes
+                # verbatim (the dispatch hop is credited when/if the
+                # continuation is actually handed out).
+                self.total_payload_bytes_saved += outcome.payload.nbytes
+            if outcome.cache_delta is not None \
+                    and self.verdict_cache is not None:
+                # Folded before the dedup checks, like the telemetry:
+                # entry merges are idempotent and the counters are
+                # telemetry-only, so even a stale replay's delta is safe
+                # to absorb.
+                delta = outcome.cache_delta
+                self.verdict_cache.merge(delta)
+                self.cache_hits += delta.hits
+                self.cache_misses += delta.misses
+                self.cache_failed_refreshes += delta.failed_refreshes
+                self.cache_evictions += delta.evictions
+                self.cache_seconds_saved += delta.seconds_saved
+            if outcome.index in self._completed:
+                return None
+            if outcome.shard is None:
+                if outcome.index not in self._outstanding:
+                    # The chunk was re-queued (its worker presumed dead)
+                    # and now the original worker reports the pause
+                    # after all: enqueuing this continuation too would
+                    # double-run the shard.  The re-queued task replays
+                    # to the same point.
+                    self.stale_pauses += 1
+                    return None
+                self._outstanding.discard(outcome.index)
+                self._queued.add(outcome.index)
+                self._queue.append(ChunkTask(
+                    index=outcome.index, spec=self.specs[outcome.index],
+                    checkpoint=outcome.resume_state(),
+                    pause_after=self.chunk_evaluations,
+                    checker_backend=self.checker_backend))
                 return None
             self._outstanding.discard(outcome.index)
-            self._queued.add(outcome.index)
-            self._queue.append(ChunkTask(
-                index=outcome.index, spec=self.specs[outcome.index],
-                checkpoint=outcome.resume_state(),
-                pause_after=self.chunk_evaluations,
-                checker_backend=self.checker_backend))
-            return None
-        self._outstanding.discard(outcome.index)
-        self._completed.add(outcome.index)
-        return outcome.index, outcome.shard
+            self._completed.add(outcome.index)
+            return outcome.index, outcome.shard
 
     def telemetry_snapshot(self) -> dict[str, object]:
         """Live telemetry for progress displays.
@@ -1034,15 +1066,22 @@ class ChunkScheduler:
         ``"verdict_cache"`` (memoized sweeps) aggregates hit/miss
         counters and checker-seconds saved across every worker's deltas.
         """
-        return _telemetry_view(self.controller, self.total_chunk_evaluations,
-                               self.total_chunk_seconds,
-                               checkpoint_bytes=self.total_checkpoint_bytes,
-                               bytes_saved=self.total_payload_bytes_saved,
-                               verdict_cache=self.cache_telemetry(),
-                               backend=self.backend_name)
+        with self._lock:
+            return _telemetry_view(
+                self.controller, self.total_chunk_evaluations,
+                self.total_chunk_seconds,
+                checkpoint_bytes=self.total_checkpoint_bytes,
+                bytes_saved=self.total_payload_bytes_saved,
+                verdict_cache=self._cache_telemetry_locked(),
+                backend=self.backend_name)
 
     def cache_telemetry(self) -> dict[str, object] | None:
         """Sweep-wide verdict-cache counters (``None`` when memo is off)."""
+        with self._lock:
+            return self._cache_telemetry_locked()
+
+    @requires_lock("_lock")
+    def _cache_telemetry_locked(self) -> dict[str, object] | None:
         if self.verdict_cache is None:
             return None
         return _cache_counters_view(
@@ -1065,21 +1104,23 @@ class ChunkScheduler:
         the per-shard results a store keeps, this is exactly what
         :meth:`restore_progress` needs to resume the sweep.
         """
-        checkpoints: dict[int, bytes] = {}
-        for task in self._queue:
-            state = task.checkpoint
-            if isinstance(state, ChunkPayload):
-                checkpoints[task.index] = state.data
-            elif state is not None:
-                checkpoints[task.index] = pickle.dumps(
-                    state, protocol=pickle.HIGHEST_PROTOCOL)
-        cache_state = None
-        if self.verdict_cache is not None:
-            cache_state = pickle.dumps(self.verdict_cache.snapshot(),
-                                       protocol=pickle.HIGHEST_PROTOCOL)
-        return SchedulerProgress(completed=frozenset(self._completed),
-                                 checkpoints=dict(checkpoints),
-                                 cache_state=cache_state)
+        with self._lock:
+            checkpoints: dict[int, bytes] = {}
+            for task in self._queue:
+                state = task.checkpoint
+                if isinstance(state, ChunkPayload):
+                    checkpoints[task.index] = state.data
+                elif state is not None:
+                    checkpoints[task.index] = pickle.dumps(
+                        state, protocol=pickle.HIGHEST_PROTOCOL)
+            cache_state = None
+            if self.verdict_cache is not None:
+                cache_state = pickle.dumps(
+                    self.verdict_cache.snapshot(),
+                    protocol=pickle.HIGHEST_PROTOCOL)
+            return SchedulerProgress(
+                completed=frozenset(self._completed),
+                checkpoints=dict(checkpoints), cache_state=cache_state)
 
     def restore_progress(self, completed: Iterable[int],
                          checkpoints: Mapping[int, bytes],
@@ -1097,30 +1138,32 @@ class ChunkScheduler:
         after any dispatch or record raises: recovery happens before
         the scheduler is ever offered to workers.
         """
-        if (self._completed or self._outstanding
-                or len(self._queue) != len(self.specs)):
-            raise RuntimeError("restore_progress() needs a fresh "
-                               "scheduler: no dispatches or records yet")
-        completed_set = set(completed)
-        unknown = (completed_set | set(checkpoints)) \
-            - set(range(len(self.specs)))
-        if unknown:
-            raise ValueError(f"restore_progress() got shard indices "
-                             f"{sorted(unknown)} outside the sweep's "
-                             f"0..{len(self.specs) - 1}")
-        rebuilt: deque[ChunkTask] = deque()
-        for task in self._queue:
-            if task.index in completed_set:
-                self._queued.discard(task.index)
-                continue
-            data = checkpoints.get(task.index)
-            if data is not None:
-                task = replace(task, checkpoint=ChunkPayload(data))
-            rebuilt.append(task)
-        self._queue = rebuilt
-        self._completed = completed_set
-        if cache_state is not None and self.verdict_cache is not None:
-            self.verdict_cache.merge(pickle.loads(cache_state))
+        with self._lock:
+            if (self._completed or self._outstanding
+                    or len(self._queue) != len(self.specs)):
+                raise RuntimeError("restore_progress() needs a fresh "
+                                   "scheduler: no dispatches or records "
+                                   "yet")
+            completed_set = set(completed)
+            unknown = (completed_set | set(checkpoints)) \
+                - set(range(len(self.specs)))
+            if unknown:
+                raise ValueError(f"restore_progress() got shard indices "
+                                 f"{sorted(unknown)} outside the sweep's "
+                                 f"0..{len(self.specs) - 1}")
+            rebuilt: deque[ChunkTask] = deque()
+            for task in self._queue:
+                if task.index in completed_set:
+                    self._queued.discard(task.index)
+                    continue
+                data = checkpoints.get(task.index)
+                if data is not None:
+                    task = replace(task, checkpoint=ChunkPayload(data))
+                rebuilt.append(task)
+            self._queue = rebuilt
+            self._completed = completed_set
+            if cache_state is not None and self.verdict_cache is not None:
+                self.verdict_cache.merge(pickle.loads(cache_state))
 
 
 @dataclass(frozen=True)

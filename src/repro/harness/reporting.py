@@ -7,6 +7,7 @@ line the streaming orchestrator updates as shard results arrive
 
 from __future__ import annotations
 
+import contextlib
 import sys
 from typing import TYPE_CHECKING, Sequence, TextIO
 
@@ -201,20 +202,16 @@ class ProgressPrinter:
                                     telemetry=telemetry)
         padding = " " * max(0, self._last_width - len(line))
         self._last_width = len(line)
-        try:
+        with contextlib.suppress(OSError, ValueError):  # pragma: no cover
             self.stream.write(f"\r{line}{padding}")
             self.stream.flush()
-        except (OSError, ValueError):  # pragma: no cover - stream closed
-            pass
 
     def finish(self) -> None:
         if self._last_width == 0:
             return
-        try:
+        with contextlib.suppress(OSError, ValueError):  # pragma: no cover
             self.stream.write("\n")
             self.stream.flush()
-        except (OSError, ValueError):  # pragma: no cover - stream closed
-            pass
 
 
 def format_speedup(serial_seconds: float, parallel_seconds: float,

@@ -28,6 +28,7 @@ from repro.sim.faults import Fault
 from repro.sim.testprogram import OpKind, TestOp
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.harness.distributed import Coordinator
     from repro.harness.parallel import CampaignSpec, SweepReport
 
 
@@ -287,7 +288,7 @@ def run_scenario_sweep(faults: list[Fault] | None = None,
                        target_chunk_seconds: float = 2.0,
                        max_checkpoint_bytes: int | None = None,
                        transport: str = "local",
-                       coordinator: object = None,
+                       coordinator: Coordinator | None = None,
                        lease_timeout: float = 30.0,
                        max_frame_bytes: int | None = None,
                        verdict_memo: bool = False,

@@ -50,6 +50,7 @@ residual trust edge of restricted mode.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import hmac
 import http.client
 import json
@@ -92,6 +93,7 @@ from repro.harness.parallel import (CampaignSpec, ChunkTask, ShardFailure,
                                     SweepConfig, SweepReport,
                                     build_chunk_scheduler,
                                     execute_chunk_task, merge_shipped_cache)
+from repro.locking import TracedLock, guarded_by, requires_lock
 from repro.harness.store import (JOB_CANCELLED, JOB_DONE, JOB_FAILED,
                                  JOB_RUNNING, JOB_STATES, SweepStore)
 
@@ -222,6 +224,8 @@ class _ServiceJob:
         return len(self.specs)
 
 
+@guarded_by("_lock", "_jobs", "_rotation", "_rr", "_leases",
+            "_connections", "_threads", "auth_failures", "stats")
 class VerificationService:
     """The long-lived coordinator: many sweeps, one worker pool, a store.
 
@@ -242,8 +246,8 @@ class VerificationService:
     """
 
     def __init__(self, store_path: str | os.PathLike,
-                 bind: object = None,
-                 http_bind: object = None,
+                 bind: str | tuple[str, int] | None = None,
+                 http_bind: str | tuple[str, int] | None = None,
                  token: str | None = None,
                  codec: str = CODEC_PICKLE,
                  lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
@@ -262,7 +266,7 @@ class VerificationService:
         #: Handshakes rejected for a bad or missing token.
         self.auth_failures = 0
         self.store = SweepStore(store_path)
-        self._lock = threading.Lock()
+        self._lock = TracedLock("service")
         self._jobs: dict[str, _ServiceJob] = {}
         #: Round-robin dispatch order across running jobs.
         self._rotation: list[str] = []
@@ -274,7 +278,8 @@ class VerificationService:
         #: :meth:`arm_crash`); the subprocess battery uses
         #: ``REPRO_SERVICE_CRASH`` instead.
         self.test_crash_hooks: dict[str, Callable[[], None]] = {}
-        self._recover()
+        with self._lock:
+            self._recover()
         bind_address = parse_address(bind)
         family = (socket.AF_INET6 if ":" in bind_address[0]
                   else socket.AF_INET)
@@ -306,6 +311,7 @@ class VerificationService:
 
     # -- recovery ------------------------------------------------------
 
+    @requires_lock("_lock")
     def _recover(self) -> None:
         """Rebuild every stored job; resume the running ones."""
         for job_id, state, _total, error in self.store.jobs():
@@ -412,6 +418,7 @@ class VerificationService:
                 accumulator.add(index, job.results[index])
             return accumulator.finalize()
 
+    @requires_lock("_lock")
     def _job(self, job_id: str) -> _ServiceJob:
         """Caller holds the lock."""
         job = self._jobs.get(job_id)
@@ -546,22 +553,24 @@ class VerificationService:
 
     def _shutdown_sockets(self) -> None:
         self._draining.set()
-        try:
+        with contextlib.suppress(OSError):  # pragma: no cover - already closed
             self._listener.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
         self._accept_thread.join(timeout=2.0)
         deadline = time.monotonic() + 3.0
-        for thread in list(self._threads):
+        # Snapshot under the lock, then join outside it (joining a
+        # handler thread that itself wants the lock would deadlock).
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout=max(0.0, deadline - time.monotonic()))
         with self._lock:
             connections = list(self._connections)
         for connection in connections:
-            try:
+            with contextlib.suppress(OSError):  # pragma: no cover - defensive cleanup
                 connection.close()
-            except OSError:  # pragma: no cover - defensive cleanup
-                pass
-        for thread in list(self._threads):
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
             thread.join(timeout=1.0)
         self._monitor_thread.join(timeout=2.0)
         if self._http is not None:
@@ -663,10 +672,8 @@ class VerificationService:
                 self.stats.disconnects += 1
         finally:
             self._forfeit(lease)
-            try:
+            with contextlib.suppress(OSError):  # pragma: no cover - defensive cleanup
                 connection.close()
-            except OSError:  # pragma: no cover - defensive cleanup
-                pass
             with self._lock:
                 if connection in self._connections:
                     self._connections.remove(connection)
@@ -725,6 +732,7 @@ class VerificationService:
         self._send(connection, ("welcome", SERVICE_MAGIC, SERVICE_VERSION))
         return str(hello[3])
 
+    @requires_lock("_lock")
     def _next_assignment(self) -> tuple[str, ChunkTask] | None:
         """Round-robin the next task across running jobs (lock held)."""
         running = [job_id for job_id in self._rotation
@@ -858,6 +866,7 @@ class VerificationService:
                     job.committed_cache_inserts = cache.inserts
         return None
 
+    @requires_lock("_lock")
     def _finish_job(self, job: _ServiceJob) -> None:
         """Caller holds the lock; every shard of ``job`` is committed."""
         job.state = JOB_DONE
@@ -865,6 +874,7 @@ class VerificationService:
         if job.job_id in self._rotation:
             self._rotation.remove(job.job_id)
 
+    @requires_lock("_lock")
     def _fail_job(self, job: _ServiceJob, error: str) -> None:
         """Caller holds the lock."""
         job.state = JOB_FAILED
@@ -884,6 +894,7 @@ class VerificationService:
                 del self._leases[key]
                 self._requeue_lost(lease)
 
+    @requires_lock("_lock")
     def _requeue_lost(self, lease: _ServiceLease) -> None:
         """Caller holds the lock; fail the job if the chunk is poison."""
         job = self._jobs.get(lease.job_id)
@@ -1290,10 +1301,8 @@ def run_service_worker(address: object, token: str | None = None,
                 raise ProtocolError("service sent a malformed reply")
             kind = message[0]
             if kind == "shutdown":
-                try:
+                with contextlib.suppress(OSError):  # pragma: no cover - racing close
                     send(("goodbye",))
-                except OSError:  # pragma: no cover - racing close
-                    pass
                 return stats
             if kind == "idle":
                 time.sleep(message[1])
@@ -1316,10 +1325,8 @@ def run_service_worker(address: object, token: str | None = None,
             send(("result", job_id, outcome))
     finally:
         stop.set()
-        try:
+        with contextlib.suppress(OSError):  # pragma: no cover - defensive cleanup
             sock.close()
-        except OSError:  # pragma: no cover - defensive cleanup
-            pass
 
 
 def spawn_service_workers(address: tuple[str, int], count: int,

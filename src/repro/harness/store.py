@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import os
 import sqlite3
-import threading
 from typing import Iterator
+
+from repro.locking import TracedLock, guarded_by
 
 #: ``jobs.state`` lifecycle values.
 JOB_RUNNING = "running"
@@ -66,13 +67,15 @@ CREATE TABLE IF NOT EXISTS job_cache (
 """
 
 
+@guarded_by("_lock", "_conn", "commits")
 class SweepStore:
     """The service's durable state; safe for multi-threaded use.
 
-    All methods serialize on one internal lock (the service's request
-    handlers write through from many threads); every mutation is one
-    SQLite transaction, so a kill -9 between any two calls leaves a
-    consistent database.  WAL journaling keeps committed transactions
+    All methods serialize on one internal lock (a leaf in the sanctioned
+    lock hierarchy, acquired under the service lock and nothing else;
+    the service's request handlers write through from many threads);
+    every mutation is one SQLite transaction, so a kill -9 between any
+    two calls leaves a consistent database.  WAL journaling keeps committed transactions
     durable across process death; ``synchronous=FULL`` extends that to
     host power loss at the price of an fsync per commit — cheap at
     chunk granularity.
@@ -80,7 +83,7 @@ class SweepStore:
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = os.fspath(path)
-        self._lock = threading.Lock()
+        self._lock = TracedLock("sweep_store")
         self._conn = sqlite3.connect(self.path, check_same_thread=False)
         with self._lock:
             self._conn.execute("PRAGMA journal_mode=WAL")

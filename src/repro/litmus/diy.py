@@ -150,7 +150,7 @@ def _walk_cycle(edges: list[CycleEdge]) -> tuple[list[_CycleEvent], int, int]:
     address = 0
     # Event i is the source of edge i; the destination of the last edge wraps
     # to event 0 (the cycle closes).
-    for index, edge in enumerate(edges):
+    for edge in edges:
         events.append(_CycleEvent(kind=edge.src_type, thread=thread,
                                   address_index=address))
         if edge.is_external:
@@ -217,11 +217,11 @@ def generate_from_cycle(name: str, edge_names: list[str],
                                           value=slot_index + 1)))
                 slot_index += 1
             address = addresses[event.address_index]
-            if event.kind == "W":
-                op = TestOp(op_id=slot_index, kind=OpKind.WRITE,
-                            address=address, value=slot_index + 1)
-            else:
-                op = TestOp(op_id=slot_index, kind=OpKind.READ, address=address)
+            op = (TestOp(op_id=slot_index, kind=OpKind.WRITE,
+                         address=address, value=slot_index + 1)
+                  if event.kind == "W"
+                  else TestOp(op_id=slot_index, kind=OpKind.READ,
+                              address=address))
             event.op_id = slot_index
             slots.append((pid, op))
             slot_index += 1

@@ -191,7 +191,7 @@ def cycle_witness_execution(test: LitmusTest) -> CandidateExecution:
         cycle_order.get(event.eid[0], len(edges)), event.pid, event.po_index))
     for write in all_writes:
         writes_by_address.setdefault(write.address, []).append(write)
-    for address in {event.address for event in events}:
+    for address in sorted({event.address for event in events}):
         chain = [init_for(address)]
         chain.extend(_ordered_writes(writes_by_address.get(address, []),
                                      co_before))

@@ -231,12 +231,12 @@ class TsoCcL1Cache(CoherenceController):
                 # Old-epoch line: stale information, no invalidation needed.
                 return
         seen = self.last_seen.get(writer, 0)
-        if self.faults.enabled(Fault.TSOCC_COMPARE):
-            # BUG SITE (TSO-CC+compare): strictly-larger comparison misses
-            # repeated observations from the same timestamp group.
-            should_invalidate = ts > seen
-        else:
-            should_invalidate = ts >= seen
+        # BUG SITE (TSO-CC+compare): the faulty strictly-larger
+        # comparison misses repeated observations from the same
+        # timestamp group.
+        should_invalidate = (ts > seen
+                             if self.faults.enabled(Fault.TSOCC_COMPARE)
+                             else ts >= seen)
         if should_invalidate:
             self.record_transition("V", "SelfInvalidate")
             self._self_invalidate(exclude=filled_line,

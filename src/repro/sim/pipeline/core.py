@@ -225,11 +225,10 @@ class CoreEngine:
                 self.trace.record_rmw(head.op.op_id, self.core_id,
                                       head.op.address, head.value,
                                       head.op.value, head.overwritten)
-            elif kind is OpKind.DELAY:
-                if head.delay_remaining > 0:
-                    head.delay_remaining -= 1
-                    committed += 1
-                    break
+            elif kind is OpKind.DELAY and head.delay_remaining > 0:
+                head.delay_remaining -= 1
+                committed += 1
+                break
             head.committed = True
             self.rob.pop(0)
             committed += 1

@@ -14,6 +14,7 @@ Three layers:
   non-duplicated results.
 """
 
+import contextlib
 import socket
 import struct
 import threading
@@ -214,10 +215,8 @@ class TestHandshake:
                 recv_frame(connection)  # the hello
                 send_frame(connection, ("welcome", PROTOCOL_MAGIC,
                                         PROTOCOL_VERSION + 9, 0))
-                try:
+                with contextlib.suppress(ProtocolError):
                     recv_frame(connection)
-                except ProtocolError:
-                    pass
 
         thread = threading.Thread(target=fake_coordinator, daemon=True)
         thread.start()

@@ -71,7 +71,7 @@ class TestCycleGeneration:
     def test_rotation_handles_external_edge_first(self):
         test = generate_from_cycle("WRC-rotated",
                                    ["Rfe", "PodRR", "Fre", "PodWW"])
-        for pid, op in test.chromosome.slots:
+        for pid, _op in test.chromosome.slots:
             assert 0 <= pid < test.num_threads
 
     def test_addresses_use_distinct_cache_lines(self):

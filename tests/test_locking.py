@@ -1,0 +1,225 @@
+"""Runtime battery for the lock-discipline toolkit (repro.locking).
+
+Covers both halves of the TracedLock contract: unarmed it is a plain
+named mutex (no edges, no checks); armed it records nesting edges and
+raises :class:`LockOrderInversion` on a reversed or same-name nesting,
+and ``@requires_lock`` methods verify their lock at call time.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.locking import (LockDisciplineError, LockOrderInversion,
+                           TracedLock, arm_lock_tracing,
+                           disarm_lock_tracing, guarded_by,
+                           lock_order_edges, lock_tracing_armed,
+                           requires_lock)
+
+
+@pytest.fixture
+def armed():
+    arm_lock_tracing(reset=True)
+    yield
+    disarm_lock_tracing()
+
+
+@pytest.fixture
+def disarmed():
+    # Explicitly disarmed with a clean edge registry, regardless of
+    # what ran before (the CI chaos leg arms tracing via the
+    # REPRO_TRACE_LOCKS environment hook at import).
+    was_armed = lock_tracing_armed()
+    arm_lock_tracing(reset=True)
+    disarm_lock_tracing()
+    yield
+    if was_armed:
+        arm_lock_tracing(reset=False)
+
+
+class TestPlainMutex:
+    def test_acquire_release_and_ownership(self, disarmed):
+        lock = TracedLock("plain")
+        assert not lock.locked()
+        assert not lock.held_by_current_thread()
+        with lock:
+            assert lock.locked()
+            assert lock.held_by_current_thread()
+        assert not lock.locked()
+        assert not lock.held_by_current_thread()
+
+    def test_nonblocking_acquire(self, disarmed):
+        lock = TracedLock("plain")
+        assert lock.acquire(blocking=False)
+        try:
+            results = []
+            thread = threading.Thread(
+                target=lambda: results.append(
+                    lock.acquire(blocking=False)))
+            thread.start()
+            thread.join()
+            assert results == [False]
+        finally:
+            lock.release()
+
+    def test_other_thread_is_not_owner(self, disarmed):
+        lock = TracedLock("plain")
+        seen = []
+        with lock:
+            thread = threading.Thread(target=lambda: seen.extend(
+                (lock.locked(), lock.held_by_current_thread())))
+            thread.start()
+            thread.join()
+        assert seen == [True, False]
+
+    def test_unarmed_records_nothing_and_allows_any_order(self, disarmed):
+        a, b = TracedLock("A"), TracedLock("B")
+        with a:
+            with b:
+                pass
+        with b:
+            with a:  # reversed order: fine while unarmed
+                pass
+        assert lock_order_edges() == {}
+
+    def test_pickle_reconstructs_fresh_unheld_lock(self, disarmed):
+        lock = TracedLock("frozen")
+        with lock:
+            clone = pickle.loads(pickle.dumps(lock))
+        assert isinstance(clone, TracedLock)
+        assert clone.name == "frozen"
+        assert not clone.locked()
+        with clone:
+            pass
+
+
+class TestTracing:
+    def test_nesting_records_edge(self, armed):
+        a, b = TracedLock("A"), TracedLock("B")
+        with a, b:
+            pass
+        edges = lock_order_edges()
+        assert ("A", "B") in edges
+        assert ("B", "A") not in edges
+        assert "A -> B" in edges[("A", "B")]
+
+    def test_inversion_raises_and_releases(self, armed):
+        a, b = TracedLock("A"), TracedLock("B")
+        with a, b:
+            pass
+        with b:
+            with pytest.raises(LockOrderInversion, match="inversion"):
+                a.acquire()
+            # The offending acquire must not leave A held.
+            assert not a.locked()
+        # The held-stack stays consistent: the sanctioned order still
+        # works after the refused acquire.
+        with a, b:
+            pass
+
+    def test_same_name_nesting_raises(self, armed):
+        first, second = TracedLock("dup"), TracedLock("dup")
+        with first:
+            with pytest.raises(LockOrderInversion, match="same"):
+                second.acquire()
+            assert not second.locked()
+
+    def test_inversion_detected_across_threads(self, armed):
+        a, b = TracedLock("A"), TracedLock("B")
+        with a, b:  # this thread records A -> B
+            pass
+        errors = []
+
+        def reversed_nesting():
+            try:
+                with b, a:
+                    pass
+            except LockOrderInversion as error:
+                errors.append(error)
+
+        thread = threading.Thread(target=reversed_nesting)
+        thread.start()
+        thread.join()
+        assert len(errors) == 1
+
+    def test_arm_reset_clears_edges(self, armed):
+        a, b = TracedLock("A"), TracedLock("B")
+        with a, b:
+            pass
+        assert ("A", "B") in lock_order_edges()
+        arm_lock_tracing(reset=False)
+        assert ("A", "B") in lock_order_edges()
+        arm_lock_tracing(reset=True)
+        assert lock_order_edges() == {}
+
+
+@guarded_by("_lock", "items")
+class Box:
+    def __init__(self):
+        self._lock = TracedLock("box")
+        self.items = []
+
+    @requires_lock("_lock")
+    def _drain(self):
+        drained, self.items[:] = list(self.items), []
+        return drained
+
+    def drain(self):
+        with self._lock:
+            return self._drain()
+
+
+class TestRequiresLock:
+    def test_enforced_when_armed(self, armed):
+        box = Box()
+        with pytest.raises(LockDisciplineError, match="_lock"):
+            box._drain()
+        box.items.append(1)  # direct access: runtime only checks calls
+        assert box.drain() == [1]
+        assert box.items == []
+
+    def test_noop_when_disarmed(self, disarmed):
+        box = Box()
+        box.items.append(2)
+        assert box._drain() == [2]
+
+    def test_marker_attribute(self):
+        assert Box._drain.__repro_requires_lock__ == "_lock"
+
+
+class TestGuardedBy:
+    def test_declares_mapping(self):
+        assert Box.__repro_guarded__ == {"items": "_lock"}
+
+    def test_subclass_extends_base_declaration(self):
+        @guarded_by("_lock", "extra")
+        class Crate(Box):
+            pass
+
+        assert Crate.__repro_guarded__ == {"items": "_lock",
+                                           "extra": "_lock"}
+        assert Box.__repro_guarded__ == {"items": "_lock"}
+
+    def test_requires_at_least_one_field(self):
+        with pytest.raises(ValueError):
+            guarded_by("_lock")
+
+
+class TestSanctionedHierarchy:
+    def test_service_store_scheduler_cache_order_is_clean(self, armed):
+        """The documented hierarchy nests cleanly under tracing."""
+        service = TracedLock("service")
+        scheduler = TracedLock("chunk_scheduler")
+        cache = TracedLock("verdict_cache")
+        store = TracedLock("sweep_store")
+        with service:
+            with store:
+                pass
+            with scheduler, cache:
+                pass
+        edges = lock_order_edges()
+        assert ("service", "sweep_store") in edges
+        assert ("chunk_scheduler", "verdict_cache") in edges

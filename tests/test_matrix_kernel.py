@@ -191,7 +191,7 @@ class TestRandomDigraphEquivalence:
         rng = random.Random(0xC105)
         # One graph wider than CLOSURE_BLOCK so the blocked Warshall
         # crosses block boundaries; the rest small and varied.
-        sizes = [150] + [rng.randint(2, 60) for _ in range(20)]
+        sizes = [150, *(rng.randint(2, 60) for _ in range(20))]
         for nodes in sizes:
             edges = random_digraph(rng, nodes, 2.0 / max(nodes, 1))
             sparse_closure = Relation(edges).transitive_closure()

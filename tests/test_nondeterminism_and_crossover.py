@@ -88,7 +88,7 @@ class TestSelectiveCrossover:
         parent1, parent2 = generator.generate(), generator.generate()
         fit_address = next(op.address for _, op in parent1.memory_ops())
         edges = set()
-        for index, op in parent1.memory_ops():
+        for _index, op in parent1.memory_ops():
             if op.address == fit_address:
                 event = (op.op_id, "W" if op.kind.writes_memory else "R")
                 edges.update({((f"w{i}",), event) for i in range(5)})

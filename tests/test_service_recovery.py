@@ -495,7 +495,7 @@ class TestSubprocessChaos:
         finally:
             if doomed.poll() is None:
                 doomed.send_signal(signal.SIGKILL)
-            _reap([doomed] + workers)
+            _reap([doomed, *workers])
 
         # Phase 2: restart over the same store; the job must be
         # recovered, resumed and completed with the pinned outcomes.
@@ -514,4 +514,4 @@ class TestSubprocessChaos:
             assert "mcversi_service_store_commits_total 0" not in metrics
         finally:
             revived.terminate()
-            _reap([revived] + workers)
+            _reap([revived, *workers])
